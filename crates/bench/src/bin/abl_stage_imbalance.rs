@@ -1,0 +1,63 @@
+//! Probe: inter-stage imbalance (straggler GPU), the bubble class the
+//! paper explicitly leaves to future work (§2.4: "we focus on solving
+//! inter-batch pipeline bubbles, while the inter-stage bubbles are left
+//! for future works").
+//!
+//! Fault injection slows one pipeline stage by a factor; every other stage
+//! then idles for the difference on every micro-batch, and no amount of
+//! token balancing can recover it. The probe quantifies the damage so the
+//! limitation is measurable, not just stated.
+
+use gllm_bench::output::{f3, Table};
+use gllm_bench::write_json;
+use gllm_model::{ClusterSpec, ModelConfig};
+use gllm_sim::engine::EngineConfig;
+use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_workload::{Dataset, Trace};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    system: String,
+    slowdown: f64,
+    e2el_s: f64,
+    throughput: f64,
+    utilization: f64,
+}
+
+fn main() {
+    let deployment = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
+    let trace = Trace::paper_online(Dataset::ShareGpt, 4.0, 13);
+
+    println!("Probe — straggler stage (stage 2 slowed by the given factor)\n");
+    let mut rows = Vec::new();
+    let mut t = Table::new(&["system", "slowdown", "E2EL (s)", "tput (tok/s)", "mean util"]);
+    for sys in [SystemConfig::gllm(), SystemConfig::vllm()] {
+        for slowdown in [1.0, 1.25, 1.5, 2.0] {
+            let cfg = EngineConfig {
+                stage_slowdown: vec![1.0, 1.0, slowdown, 1.0],
+                ..EngineConfig::default()
+            };
+            let r = run_experiment(&trace, &sys, &deployment, &cfg);
+            t.row(vec![
+                sys.name.clone(),
+                format!("{slowdown}x"),
+                f3(r.report.mean_e2el_s),
+                f3(r.report.throughput_tok_s),
+                f3(r.mean_utilization),
+            ]);
+            rows.push(Row {
+                system: sys.name.clone(),
+                slowdown,
+                e2el_s: r.report.mean_e2el_s,
+                throughput: r.report.throughput_tok_s,
+                utilization: r.mean_utilization,
+            });
+        }
+    }
+    t.print();
+    println!("\nexpected: utilisation of the healthy stages falls roughly as");
+    println!("1/slowdown for both systems — inter-batch balancing (gLLM's");
+    println!("contribution) cannot fix inter-stage imbalance, as §2.4 states.");
+    write_json("abl_stage_imbalance", &rows);
+}

@@ -1,0 +1,76 @@
+//! Figure 1: scheduled prefill/decode token counts per iteration,
+//! Sarathi-Serve vs a balanced system (token budget 2048 for both).
+//!
+//! The paper's claim: Sarathi's trace shows substantially greater token
+//! volatility, caused by (1) missed chances to batch decodes with prefills
+//! and (2) uneven decode distribution. Here the "balanced system" is gLLM's
+//! Token Throttling; the printed series is the figure, and the coefficient
+//! of variation quantifies the gap.
+
+use gllm_bench::output::{f3, Table};
+use gllm_bench::write_json;
+use gllm_model::{ClusterSpec, ModelConfig};
+use gllm_sim::engine::EngineConfig;
+use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_workload::{Dataset, Trace};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig1Output {
+    sarathi: Vec<(usize, usize, usize)>,
+    gllm: Vec<(usize, usize, usize)>,
+    sarathi_cv: f64,
+    gllm_cv: f64,
+}
+
+fn main() {
+    let deployment = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
+    // A rate high enough that prefill and decode continuously contend.
+    let trace = Trace::paper_online(Dataset::ShareGpt, 6.0, 2025);
+    let cfg = EngineConfig::default();
+
+    let sarathi = run_experiment(&trace, &SystemConfig::vllm(), &deployment, &cfg);
+    let gllm = run_experiment(&trace, &SystemConfig::gllm(), &deployment, &cfg);
+
+    println!("Figure 1 — scheduled token counts per iteration (budget 2048)\n");
+    let mut table = Table::new(&["iter", "sarathi prefill", "sarathi decode", "sarathi total",
+        "gLLM prefill", "gLLM decode", "gLLM total"]);
+    let n = 60.min(sarathi.token_trace.len()).min(gllm.token_trace.len());
+    for i in 0..n {
+        let s = sarathi.token_trace.points()[i];
+        let g = gllm.token_trace.points()[i];
+        table.row(vec![
+            i.to_string(),
+            s.prefill.to_string(),
+            s.decode.to_string(),
+            s.total().to_string(),
+            g.prefill.to_string(),
+            g.decode.to_string(),
+            g.total().to_string(),
+        ]);
+    }
+    table.print();
+
+    let s_cv = sarathi.token_trace.total_tokens_cv();
+    let g_cv = gllm.token_trace.total_tokens_cv();
+    println!("\nvolatility (coefficient of variation of batched tokens):");
+    println!("  Sarathi-Serve: {}", f3(s_cv));
+    println!("  gLLM balanced: {}", f3(g_cv));
+    println!(
+        "  paper expectation: Sarathi substantially more volatile — ratio {}x",
+        f3(s_cv / g_cv.max(1e-9))
+    );
+
+    let to_tuples = |t: &gllm_metrics::TokenTrace| {
+        t.points().iter().map(|p| (p.iteration, p.prefill, p.decode)).collect()
+    };
+    write_json(
+        "fig01_token_fluctuation",
+        &Fig1Output {
+            sarathi: to_tuples(&sarathi.token_trace),
+            gllm: to_tuples(&gllm.token_trace),
+            sarathi_cv: s_cv,
+            gllm_cv: g_cv,
+        },
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 10: intra-node latency (TTFT/TPOT/E2EL) and throughput vs
+//! request rate — vLLM vs SGLang vs gLLM on 1 node with 4×L20.
+//!
+//! The paper plots Qwen2.5-14B, Qwen2.5-32B and Llama-3.1-100B on ShareGPT
+//! and Azure. The 100B model does not fit on 4×L20 (the paper serves it on
+//! A800 nodes; see `fig12_cross_node`), so this intra-node figure covers
+//! the 14B/32B panels.
+
+use gllm_bench::output::{f3, ms, Table};
+use gllm_bench::{sweep_rates, write_json};
+use gllm_model::{ClusterSpec, ModelConfig};
+use gllm_sim::{Deployment, SystemConfig};
+use gllm_workload::Dataset;
+
+fn main() {
+    let systems = SystemConfig::paper_main();
+    let panels: Vec<(&str, ModelConfig, Dataset, Vec<f64>)> = vec![
+        ("14B / sharegpt", ModelConfig::qwen2_5_14b(), Dataset::ShareGpt, vec![1.0, 2.0, 4.0, 8.0, 12.0]),
+        ("14B / azure", ModelConfig::qwen2_5_14b(), Dataset::Azure, vec![0.5, 1.0, 2.0, 3.0, 4.0]),
+        ("32B / sharegpt", ModelConfig::qwen2_5_32b(), Dataset::ShareGpt, vec![0.5, 1.0, 2.0, 4.0, 6.0]),
+        ("32B / azure", ModelConfig::qwen2_5_32b(), Dataset::Azure, vec![0.25, 0.5, 1.0, 1.5, 2.0]),
+    ];
+
+    let mut all = Vec::new();
+    for (name, model, dataset, rates) in panels {
+        let deployment = Deployment::new(model, ClusterSpec::intra_node_l20(4));
+        let pts = sweep_rates(&systems, &deployment, dataset, &rates, 1001, None);
+        println!("\nFigure 10 panel: {name} (4xL20, PCIe)\n");
+        let mut t = Table::new(&[
+            "system", "rate", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput (tok/s)", "finished",
+        ]);
+        for p in &pts {
+            t.row(vec![
+                p.system.clone(),
+                f3(p.rate),
+                ms(p.ttft_s),
+                ms(p.tpot_s),
+                f3(p.e2el_s),
+                f3(p.throughput),
+                format!("{}/{}", p.finished, p.total),
+            ]);
+        }
+        t.print();
+        all.push((name.to_string(), pts));
+    }
+    write_json("fig10_intra_node", &all);
+}

@@ -1,0 +1,77 @@
+//! Figure 11: distribution of input and output lengths of the sampled
+//! datasets.
+//!
+//! The paper reports the Azure trace having a 5.21× longer average input
+//! and 1.66× longer average output than ShareGPT. This binary samples both
+//! synthetic datasets, prints histograms and the achieved ratios.
+
+use gllm_bench::output::{f3, Table};
+use gllm_bench::write_json;
+use gllm_workload::{histogram, Dataset, Trace};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig11Output {
+    sharegpt_mean_input: f64,
+    sharegpt_mean_output: f64,
+    azure_mean_input: f64,
+    azure_mean_output: f64,
+    input_ratio: f64,
+    output_ratio: f64,
+    input_hist_sharegpt: Vec<(f64, usize)>,
+    input_hist_azure: Vec<(f64, usize)>,
+    output_hist_sharegpt: Vec<(f64, usize)>,
+    output_hist_azure: Vec<(f64, usize)>,
+}
+
+fn hist(values: &[usize], bins: usize, max: usize) -> Vec<(f64, usize)> {
+    let (edges, counts) = histogram(values, bins, 0, max);
+    edges.into_iter().zip(counts).collect()
+}
+
+fn main() {
+    // Large samples so the ratios are tight.
+    let sg = Trace::paper_online(Dataset::ShareGpt, 80.0, 7);
+    let az = Trace::paper_online(Dataset::Azure, 80.0, 7);
+    let s = sg.summary();
+    let a = az.summary();
+
+    println!("Figure 11 — input/output length distributions (sampled)\n");
+    let mut t = Table::new(&["dataset", "requests", "mean input", "mean output"]);
+    t.row(vec!["sharegpt".into(), s.count.to_string(), f3(s.mean_input), f3(s.mean_output)]);
+    t.row(vec!["azure".into(), a.count.to_string(), f3(a.mean_input), f3(a.mean_output)]);
+    t.print();
+
+    let in_ratio = a.mean_input / s.mean_input;
+    let out_ratio = a.mean_output / s.mean_output;
+    println!("\ninput ratio (azure/sharegpt):  {} (paper: 5.21x)", f3(in_ratio));
+    println!("output ratio (azure/sharegpt): {} (paper: 1.66x)", f3(out_ratio));
+
+    let inputs = |t: &Trace| t.requests.iter().map(|r| r.prompt_len).collect::<Vec<_>>();
+    let outputs = |t: &Trace| t.requests.iter().map(|r| r.output_len).collect::<Vec<_>>();
+
+    println!("\ninput-length histogram (bucket floor → count):");
+    let mut th = Table::new(&["bucket", "sharegpt", "azure"]);
+    let hs = hist(&inputs(&sg), 16, 4096);
+    let ha = hist(&inputs(&az), 16, 4096);
+    for (i, (edge, c)) in hs.iter().enumerate() {
+        th.row(vec![format!("{:.0}", edge), c.to_string(), ha[i].1.to_string()]);
+    }
+    th.print();
+
+    write_json(
+        "fig11_workload_distribution",
+        &Fig11Output {
+            sharegpt_mean_input: s.mean_input,
+            sharegpt_mean_output: s.mean_output,
+            azure_mean_input: a.mean_input,
+            azure_mean_output: a.mean_output,
+            input_ratio: in_ratio,
+            output_ratio: out_ratio,
+            input_hist_sharegpt: hs,
+            input_hist_azure: ha,
+            output_hist_sharegpt: hist(&outputs(&sg), 16, 2048),
+            output_hist_azure: hist(&outputs(&az), 16, 2048),
+        },
+    );
+}

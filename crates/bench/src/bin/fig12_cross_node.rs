@@ -1,0 +1,78 @@
+//! Figure 12: cross-node latency and throughput vs request rate over the
+//! 73.28 Gbps simulated network (NCCL P2P/SHM disabled) — 4 nodes.
+//!
+//! Qwen2.5-14B/32B run on A100-40G nodes; Llama-3.1-100B on A800-80G
+//! nodes, exactly the paper's assignment. Pipeline systems send only
+//! inter-stage activations across the network; SGLang's tensor parallelism
+//! pays per-layer all-reduces, which is where it collapses.
+
+use gllm_bench::output::{f3, ms, Table};
+use gllm_bench::{sweep_rates, write_json};
+use gllm_model::{ClusterSpec, ModelConfig};
+use gllm_sim::{Deployment, SystemConfig};
+use gllm_workload::Dataset;
+
+fn main() {
+    let systems = SystemConfig::paper_main();
+    let panels: Vec<(&str, ModelConfig, ClusterSpec, Dataset, Vec<f64>)> = vec![
+        (
+            "14B / sharegpt / A100",
+            ModelConfig::qwen2_5_14b(),
+            ClusterSpec::cross_node_a100(4),
+            Dataset::ShareGpt,
+            vec![1.0, 2.0, 4.0, 8.0, 12.0],
+        ),
+        (
+            "32B / sharegpt / A100",
+            ModelConfig::qwen2_5_32b(),
+            ClusterSpec::cross_node_a100(4),
+            Dataset::ShareGpt,
+            vec![0.5, 1.0, 2.0, 4.0, 6.0],
+        ),
+        (
+            "32B / azure / A100",
+            ModelConfig::qwen2_5_32b(),
+            ClusterSpec::cross_node_a100(4),
+            Dataset::Azure,
+            vec![0.25, 0.5, 1.0, 1.5, 2.0],
+        ),
+        (
+            "100B / sharegpt / A800",
+            ModelConfig::llama3_1_100b(),
+            ClusterSpec::cross_node_a800(4),
+            Dataset::ShareGpt,
+            vec![0.25, 0.5, 1.0, 1.5, 2.0],
+        ),
+        (
+            "100B / azure / A800",
+            ModelConfig::llama3_1_100b(),
+            ClusterSpec::cross_node_a800(4),
+            Dataset::Azure,
+            vec![0.125, 0.25, 0.5, 0.75, 1.0],
+        ),
+    ];
+
+    let mut all = Vec::new();
+    for (name, model, cluster, dataset, rates) in panels {
+        let deployment = Deployment::new(model, cluster);
+        let pts = sweep_rates(&systems, &deployment, dataset, &rates, 1002, None);
+        println!("\nFigure 12 panel: {name} (4 nodes, 73.28 Gbps)\n");
+        let mut t = Table::new(&[
+            "system", "rate", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput (tok/s)", "finished",
+        ]);
+        for p in &pts {
+            t.row(vec![
+                p.system.clone(),
+                f3(p.rate),
+                ms(p.ttft_s),
+                ms(p.tpot_s),
+                f3(p.e2el_s),
+                f3(p.throughput),
+                format!("{}/{}", p.finished, p.total),
+            ]);
+        }
+        t.print();
+        all.push((name.to_string(), pts));
+    }
+    write_json("fig12_cross_node", &all);
+}

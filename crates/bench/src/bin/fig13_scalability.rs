@@ -1,0 +1,98 @@
+//! Figure 13: maximum-throughput scalability as GPUs/nodes increase —
+//! (a) intra-node 4×L20, (b) cross-node with one A100 per node.
+//!
+//! Methodology matches §4.3: escalate the request rate until throughput
+//! stabilises; the bar annotations are the speedup multiples relative to
+//! the smallest feasible deployment of each system.
+
+use gllm_bench::output::{f3, Table};
+use gllm_bench::write_json;
+use gllm_model::{ClusterSpec, ModelConfig};
+use gllm_sim::capacity::max_throughput;
+use gllm_sim::{Deployment, Parallelism, SystemConfig};
+use gllm_workload::Dataset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Bar {
+    panel: String,
+    system: String,
+    gpus: usize,
+    max_throughput: f64,
+    speedup_vs_smallest: f64,
+}
+
+fn panel(
+    name: &str,
+    model: &ModelConfig,
+    cluster_of: impl Fn(usize) -> ClusterSpec,
+    gpu_counts: &[usize],
+    bars: &mut Vec<Bar>,
+) {
+    println!("\nFigure 13 panel: {name}\n");
+    let systems = SystemConfig::paper_main();
+    let mut t = Table::new(&["system", "gpus", "max tput (tok/s)", "speedup"]);
+    for sys in &systems {
+        let mut base: Option<f64> = None;
+        for &n in gpu_counts {
+            let deployment = Deployment::new(model.clone(), cluster_of(n));
+            // Skip infeasible deployments (model does not fit).
+            let feasible = match sys.parallelism {
+                Parallelism::Pipeline => n <= model.num_layers && deployment.pp_kv_tokens() > 0,
+                Parallelism::Tensor => deployment.tp_kv_tokens() > 0,
+            };
+            if !feasible {
+                t.row(vec![sys.name.clone(), n.to_string(), "-".into(), "-".into()]);
+                continue;
+            }
+            let cap = max_throughput(sys, &deployment, Dataset::ShareGpt, 1.0, 77);
+            let speedup = match base {
+                Some(b) => cap.max_throughput_tok_s / b,
+                None => {
+                    base = Some(cap.max_throughput_tok_s);
+                    1.0
+                }
+            };
+            t.row(vec![
+                sys.name.clone(),
+                n.to_string(),
+                f3(cap.max_throughput_tok_s),
+                format!("{}x", f3(speedup)),
+            ]);
+            bars.push(Bar {
+                panel: name.into(),
+                system: sys.name.clone(),
+                gpus: n,
+                max_throughput: cap.max_throughput_tok_s,
+                speedup_vs_smallest: speedup,
+            });
+        }
+    }
+    t.print();
+}
+
+fn main() {
+    let mut bars = Vec::new();
+    panel(
+        "(a) intra-node L20, Qwen2.5-14B",
+        &ModelConfig::qwen2_5_14b(),
+        ClusterSpec::intra_node_l20,
+        &[1, 2, 4],
+        &mut bars,
+    );
+    panel(
+        "(a') intra-node L20, Qwen2.5-32B",
+        &ModelConfig::qwen2_5_32b(),
+        ClusterSpec::intra_node_l20,
+        &[2, 4],
+        &mut bars,
+    );
+    panel(
+        "(b) cross-node 1xA100 per node, Qwen2.5-14B",
+        &ModelConfig::qwen2_5_14b(),
+        ClusterSpec::cross_node_a100,
+        &[1, 2, 4],
+        &mut bars,
+    );
+    write_json("fig13_scalability", &bars);
+}

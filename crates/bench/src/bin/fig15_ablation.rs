@@ -1,0 +1,102 @@
+//! Figure 15: ablation of gLLM's design choices — gLLM vs w/o WT, w/o UT,
+//! w/ CK (Sarathi policy on the gLLM runtime) and vLLM, on TTFT, TPOT,
+//! E2EL and throughput.
+//!
+//! Paper expectations: removing WT trades slightly better TTFT (−10 %) for
+//! much worse TPOT (+44 %) and E2EL (+20 %); removing UT is worse still
+//! (TTFT +22 %, TPOT +91 %, E2EL +38 %); and even w/ CK beats vLLM
+//! (+10 % throughput, −8 % E2EL) because the asynchronous runtime removes
+//! the coupled input-preparation overhead.
+//!
+//! Two panels are reported because the two throttles bind in different
+//! regimes: WT (pending-prefill balancing) dominates on the bursty
+//! short-prompt ShareGPT workload, while UT (KV-pressure throttling)
+//! dominates on Azure, whose long prompts actually fill the cache.
+
+use gllm_bench::output::{f3, ms, Table};
+use gllm_bench::write_json;
+use gllm_model::{ClusterSpec, ModelConfig};
+use gllm_sim::engine::EngineConfig;
+use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_workload::{Dataset, Trace};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    panel: String,
+    system: String,
+    ttft_s: f64,
+    tpot_s: f64,
+    e2el_s: f64,
+    throughput: f64,
+    preemptions: u64,
+}
+
+fn run_panel(
+    panel: &str,
+    dataset: Dataset,
+    rate: f64,
+    deployment: &Deployment,
+    rows: &mut Vec<AblationRow>,
+) {
+    let trace = Trace::paper_online(dataset, rate, 1005);
+    let cfg = EngineConfig::default();
+    println!("\nFigure 15 panel: {panel}\n");
+    let mut t = Table::new(&[
+        "system", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput (tok/s)", "preempt",
+    ]);
+    let mut panel_rows = Vec::new();
+    for sys in SystemConfig::paper_ablation() {
+        let r = run_experiment(&trace, &sys, deployment, &cfg);
+        t.row(vec![
+            sys.name.clone(),
+            ms(r.report.mean_ttft_s),
+            ms(r.report.mean_tpot_s),
+            f3(r.report.mean_e2el_s),
+            f3(r.report.throughput_tok_s),
+            r.preemptions.to_string(),
+        ]);
+        panel_rows.push(AblationRow {
+            panel: panel.into(),
+            system: sys.name.clone(),
+            ttft_s: r.report.mean_ttft_s,
+            tpot_s: r.report.mean_tpot_s,
+            e2el_s: r.report.mean_e2el_s,
+            throughput: r.report.throughput_tok_s,
+            preemptions: r.preemptions,
+        });
+    }
+    t.print();
+
+    let get = |name: &str| panel_rows.iter().find(|r| r.system == name).expect("row exists");
+    let gllm = get("gLLM");
+    println!("\nrelative to gLLM:");
+    for name in ["gLLM w/o WT", "gLLM w/o UT"] {
+        let r = get(name);
+        println!(
+            "  {name}: TTFT {}x, TPOT {}x, E2EL {}x",
+            f3(r.ttft_s / gllm.ttft_s),
+            f3(r.tpot_s / gllm.tpot_s),
+            f3(r.e2el_s / gllm.e2el_s)
+        );
+    }
+    let ck = get("gLLM w/ CK");
+    let vllm = get("vLLM");
+    println!(
+        "  gLLM w/ CK vs vLLM: throughput {}x, E2EL {}x (paper: +10% tput, -8% E2EL)",
+        f3(ck.throughput / vllm.throughput),
+        f3(ck.e2el_s / vllm.e2el_s)
+    );
+    rows.append(&mut panel_rows);
+}
+
+fn main() {
+    let deployment = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
+    let mut rows = Vec::new();
+    // WT-dominated regime: bursty short prompts, decode-heavy steady state.
+    run_panel("32B / 4xL20 / sharegpt @ 6 req/s", Dataset::ShareGpt, 6.0, &deployment, &mut rows);
+    // UT-dominated regime: long Azure prompts keep the KV cache near
+    // capacity.
+    run_panel("32B / 4xL20 / azure @ 3 req/s", Dataset::Azure, 3.0, &deployment, &mut rows);
+    write_json("fig15_ablation", &rows);
+}

@@ -1,0 +1,177 @@
+//! Table 1: lines of code and output quality across frameworks.
+//!
+//! The paper compares gLLM (3 874 LoC) against SGLang (65 097) and vLLM
+//! (226 874), and shows near-identical MMLU-Pro scores (68.86 / 68.85 /
+//! 69.17 on Qwen2.5-32B-Instruct) — i.e. the scheduler does not change
+//! model quality. Offline, MMLU-Pro and real checkpoints are unavailable,
+//! so the quality half is substituted by the strongest version of the same
+//! claim: a synthetic multiple-choice probe set answered by the *real* CPU
+//! transformer, where every serving configuration (single-process
+//! reference, gLLM Token Throttling runtime, Sarathi-scheduled runtime,
+//! 1-stage and multi-stage pipelines) must produce **bit-identical**
+//! greedy answers. The LoC half counts this repository's crates.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gllm_bench::output::Table;
+use gllm_bench::write_json;
+use gllm_core::sarathi::SarathiServe;
+use gllm_core::throttle::TokenThrottle;
+use gllm_model::ModelConfig;
+use gllm_runtime::{GenRequest, RuntimeConfig, Server};
+use gllm_transformer::sampler::SamplingParams;
+use gllm_transformer::CausalLM;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Tab1Output {
+    loc_per_crate: Vec<(String, usize)>,
+    total_loc: usize,
+    probes: usize,
+    agreement_gllm_runtime: f64,
+    agreement_sarathi_runtime: f64,
+    agreement_pipelined: f64,
+}
+
+/// Count non-empty lines of `.rs` files under `dir`, recursively.
+fn count_loc(dir: &Path) -> usize {
+    let mut total = 0;
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                total += count_loc(&path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(text) = fs::read_to_string(&path) {
+                    total += text.lines().filter(|l| !l.trim().is_empty()).count();
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Deterministic synthetic probe prompts (the "questions").
+fn probe_prompts(n: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|i| {
+            let len = 6 + (i * 7) % 18;
+            (0..len).map(|j| ((i * 131 + j * 29 + 3) % 256) as u32).collect()
+        })
+        .collect()
+}
+
+/// "Grade" a system: fraction of probes whose full greedy generation
+/// matches the reference exactly.
+fn agreement(answers: &HashMap<u64, Vec<u32>>, reference: &[Vec<u32>]) -> f64 {
+    let hits = reference
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| answers.get(&(*i as u64)).is_some_and(|a| a == *r))
+        .count();
+    hits as f64 / reference.len() as f64
+}
+
+fn run_server(stages: usize, sarathi: bool, prompts: &[Vec<u32>], answer_len: usize) -> HashMap<u64, Vec<u32>> {
+    let policy: Arc<dyn gllm_core::SchedulePolicy> = if sarathi {
+        Arc::new(SarathiServe::default())
+    } else {
+        Arc::new(TokenThrottle::default())
+    };
+    let server = Server::start(RuntimeConfig::tiny(stages), policy);
+    let reqs = prompts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| GenRequest {
+            id: i as u64,
+            prompt: p.clone(),
+            max_new: answer_len,
+            params: SamplingParams::greedy(),
+        })
+        .collect();
+    let out = server.generate_all(reqs);
+    server.shutdown();
+    out
+}
+
+fn main() {
+    // --- LoC half -------------------------------------------------------
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut loc_rows = Vec::new();
+    let mut total = 0;
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut names: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        names.sort();
+        for path in names {
+            if path.is_dir() {
+                let loc = count_loc(&path.join("src"));
+                total += loc;
+                loc_rows.push((
+                    path.file_name().expect("crate dir").to_string_lossy().into_owned(),
+                    loc,
+                ));
+            }
+        }
+    }
+    println!("Table 1 (left) — lines of code\n");
+    let mut t = Table::new(&["crate", "LoC"]);
+    for (name, loc) in &loc_rows {
+        t.row(vec![name.clone(), loc.to_string()]);
+    }
+    t.row(vec!["TOTAL (this repo)".into(), total.to_string()]);
+    t.print();
+    println!("\npaper reference: gLLM 3874, SGLang 65097, vLLM 226874 (Python)");
+
+    // --- Quality half ----------------------------------------------------
+    const PROBES: usize = 24;
+    const ANSWER_LEN: usize = 6;
+    let prompts = probe_prompts(PROBES);
+    // Reference: single-process model, whole-prompt prefill.
+    let mut reference = Vec::with_capacity(PROBES);
+    let mut lm = CausalLM::new(ModelConfig::tiny(), 1, 256, 4, 2024);
+    for (i, p) in prompts.iter().enumerate() {
+        let ans = lm
+            .generate(i as u64, p, ANSWER_LEN, 1024, &SamplingParams::greedy())
+            .expect("reference generation");
+        lm.release(i as u64).expect("release");
+        reference.push(ans);
+    }
+
+    let gllm_answers = run_server(2, false, &prompts, ANSWER_LEN);
+    let sarathi_answers = run_server(2, true, &prompts, ANSWER_LEN);
+    let pipelined_answers = run_server(4, false, &prompts, ANSWER_LEN);
+
+    let a_gllm = agreement(&gllm_answers, &reference);
+    let a_sarathi = agreement(&sarathi_answers, &reference);
+    let a_pipe = agreement(&pipelined_answers, &reference);
+
+    println!("\nTable 1 (right) — output-quality equivalence ({PROBES} probes, greedy)\n");
+    let mut q = Table::new(&["serving configuration", "agreement with reference"]);
+    q.row(vec!["gLLM runtime (Token Throttling, 2 stages)".into(), format!("{:.2}%", a_gllm * 100.0)]);
+    q.row(vec!["gLLM runtime (Sarathi policy, 2 stages)".into(), format!("{:.2}%", a_sarathi * 100.0)]);
+    q.row(vec!["gLLM runtime (Token Throttling, 4 stages)".into(), format!("{:.2}%", a_pipe * 100.0)]);
+    q.print();
+    println!("\npaper analogue: MMLU-Pro 68.86 (gLLM) vs 68.85 (SGLang) vs 69.17 (vLLM)");
+    println!("reproduction claim: scheduling must not change outputs — expect 100% everywhere");
+    assert_eq!(a_gllm, 1.0, "Token Throttling changed model outputs!");
+    assert_eq!(a_sarathi, 1.0, "Sarathi scheduling changed model outputs!");
+    assert_eq!(a_pipe, 1.0, "pipelining changed model outputs!");
+
+    write_json(
+        "tab01_functionality",
+        &Tab1Output {
+            loc_per_crate: loc_rows,
+            total_loc: total,
+            probes: PROBES,
+            agreement_gllm_runtime: a_gllm,
+            agreement_sarathi_runtime: a_sarathi,
+            agreement_pipelined: a_pipe,
+        },
+    );
+}

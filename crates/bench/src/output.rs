@@ -1,0 +1,124 @@
+//! Table printing and JSON result persistence.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with 3 significant-ish decimals.
+pub fn f3(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Milliseconds with sensible precision.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1000.0)
+}
+
+/// Persist a serialisable result under `bench-results/<name>.json`
+/// (relative to the workspace root when run via cargo, else the CWD).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = match std::env::var("CARGO_MANIFEST_DIR") {
+        // crates/bench → workspace root two levels up.
+        Ok(m) => PathBuf::from(m).join("../../bench-results"),
+        Err(_) => PathBuf::from("bench-results"),
+    };
+    fs::create_dir_all(&dir).expect("create bench-results dir");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise results"))
+        .expect("write results file");
+    eprintln!("[results written to {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(0.0), "0");
+        assert_eq!(f3(123.456), "123");
+        assert_eq!(f3(1.234), "1.23");
+        assert_eq!(f3(0.01234), "0.0123");
+        assert_eq!(ms(0.1234), "123.4");
+    }
+}

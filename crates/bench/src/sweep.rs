@@ -1,0 +1,85 @@
+//! Request-rate sweeps: the x-axis of the paper's Figures 10, 12 and 14.
+
+use gllm_metrics::SloSpec;
+use gllm_sim::engine::EngineConfig;
+use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_workload::{Dataset, Trace};
+use serde::Serialize;
+
+/// One `(system, rate)` measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct RatePoint {
+    /// System under test.
+    pub system: String,
+    /// Offered request rate (req/s).
+    pub rate: f64,
+    /// Mean time to first token (s).
+    pub ttft_s: f64,
+    /// Mean time per output token (s).
+    pub tpot_s: f64,
+    /// Mean end-to-end latency (s).
+    pub e2el_s: f64,
+    /// Input+output token throughput (tok/s).
+    pub throughput: f64,
+    /// SLO attainment if an SLO was supplied.
+    pub slo_attainment: Option<f64>,
+    /// Requests finished / submitted.
+    pub finished: usize,
+    /// Requests submitted.
+    pub total: usize,
+    /// Preemption events.
+    pub preemptions: u64,
+}
+
+/// Run `systems × rates` on paired workloads (same seed per rate) and
+/// collect the paper's metric set per point.
+pub fn sweep_rates(
+    systems: &[SystemConfig],
+    deployment: &Deployment,
+    dataset: Dataset,
+    rates: &[f64],
+    seed: u64,
+    slo: Option<SloSpec>,
+) -> Vec<RatePoint> {
+    let cfg = EngineConfig {
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
+    let mut out = Vec::with_capacity(systems.len() * rates.len());
+    for &rate in rates {
+        let trace = Trace::paper_online(dataset, rate, seed);
+        for sys in systems {
+            let r = run_experiment(&trace, sys, deployment, &cfg);
+            out.push(RatePoint {
+                system: sys.name.clone(),
+                rate,
+                ttft_s: r.report.mean_ttft_s,
+                tpot_s: r.report.mean_tpot_s,
+                e2el_s: r.report.mean_e2el_s,
+                throughput: r.report.throughput_tok_s,
+                slo_attainment: slo.map(|s| r.slo_attainment(s)),
+                finished: r.report.finished_requests,
+                total: r.report.total_requests,
+                preemptions: r.preemptions,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gllm_model::{ClusterSpec, ModelConfig};
+
+    #[test]
+    fn sweep_produces_a_point_per_system_rate_pair() {
+        let d = Deployment::new(ModelConfig::qwen2_5_14b(), ClusterSpec::intra_node_l20(2));
+        let systems = [SystemConfig::gllm(), SystemConfig::vllm()];
+        let pts = sweep_rates(&systems, &d, Dataset::ShareGpt, &[0.5, 1.0], 5, None);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|p| p.finished == p.total));
+        assert!(pts.iter().all(|p| p.throughput > 0.0));
+    }
+}

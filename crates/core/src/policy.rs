@@ -1,0 +1,276 @@
+//! The scheduling-policy abstraction and its input snapshot.
+//!
+//! A policy sees a [`ScheduleView`] — the global information the paper's
+//! driver worker collects before each schedule (§3.1: "gLLM collects the
+//! number of tokens across all awaiting prefill requests" and "the KV cache
+//! free rate") — and returns a [`BatchPlan`]. Policies are pure and
+//! deterministic; all mutation happens in [`crate::pool::RequestPool`].
+
+use crate::plan::{BatchPlan, DecodeSlot, PrefillChunk};
+
+/// A waiting (prefill-schedulable) sequence, FCFS order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitingSeq {
+    /// Sequence id.
+    pub seq: u64,
+    /// Prompt tokens still to prefill.
+    pub remaining_prefill: usize,
+    /// KV context already committed (previous chunks).
+    pub context_before: usize,
+}
+
+/// A decodable (running, not in-flight) sequence, FCFS order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodableSeq {
+    /// Sequence id.
+    pub seq: u64,
+    /// KV context committed before the next step.
+    pub context_before: usize,
+}
+
+/// Immutable snapshot handed to a policy before each micro-batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleView {
+    /// Prefill-schedulable sequences in arrival order.
+    pub waiting: Vec<WaitingSeq>,
+    /// Decode-schedulable sequences in arrival order.
+    pub decodable: Vec<DecodableSeq>,
+    /// Total sequences in the decode phase, including those inside
+    /// in-flight micro-batches — the paper's `#RD` (Eq. 4 counts *all*
+    /// running decode tokens, distributed over `#PP_depth` batches).
+    pub total_decode_seqs: usize,
+    /// The paper's `KV_free ∈ [0, 1]`.
+    pub kv_free_rate: f64,
+    /// Free KV slots (tokens) available for new allocations right now.
+    pub kv_free_tokens: usize,
+    /// Sequences currently inside in-flight micro-batches (any phase).
+    pub in_flight_seqs: usize,
+    /// Pipeline depth (`#PP_depth`), 1 for tensor parallelism.
+    pub pipeline_depth: usize,
+    /// Engine cap on sequences per batch (vLLM's `--max-num-seqs`).
+    pub max_seqs_per_batch: usize,
+}
+
+impl ScheduleView {
+    /// The paper's `#WP`: total tokens awaiting prefill.
+    pub fn waiting_tokens(&self) -> usize {
+        self.waiting.iter().map(|w| w.remaining_prefill).sum()
+    }
+}
+
+/// A scheduling policy: pure function from view to plan.
+pub trait SchedulePolicy: Send + Sync {
+    /// Compose the next micro-batch.
+    fn plan(&self, view: &ScheduleView) -> BatchPlan;
+
+    /// Short name for reports and bench rows.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared helper: greedily carve prefill chunks FCFS from `waiting` until
+/// `token_budget` tokens, `seq_budget` sequences or `kv_free_tokens` slots
+/// are exhausted, marking the chunk that completes each prompt.
+///
+/// Every policy in the paper (Sarathi, vLLM, SGLang, gLLM) admits prefill
+/// FCFS with chunking; they differ only in how `token_budget` is chosen.
+pub fn carve_prefill_chunks(
+    waiting: &[WaitingSeq],
+    token_budget: usize,
+    seq_budget: usize,
+    kv_free_tokens: usize,
+) -> Vec<PrefillChunk> {
+    let mut chunks = Vec::new();
+    let mut budget = token_budget.min(kv_free_tokens);
+    for w in waiting.iter().take(seq_budget) {
+        if budget == 0 {
+            break;
+        }
+        let take = w.remaining_prefill.min(budget);
+        chunks.push(PrefillChunk {
+            seq: w.seq,
+            tokens: take,
+            context_before: w.context_before,
+            completes_prompt: take == w.remaining_prefill,
+        });
+        budget -= take;
+    }
+    chunks
+}
+
+/// Like [`carve_prefill_chunks`], but budgets *estimated cost* rather than
+/// raw token count: each token of a chunk at context `c` is weighted
+/// `1 + c / quad_ref`, where `quad_ref` is the context length at which the
+/// quadratic attention cost equals the linear projection cost.
+///
+/// This implements the paper's §6 future-work item ("incorporate the
+/// context length of each sequence to enable more accurate estimation of
+/// forward pass time"): with plain token budgeting, a 512-token chunk at
+/// context 8 K costs far more wall-clock than a 512-token chunk at context
+/// 0, re-introducing inter-batch imbalance on long-context workloads.
+pub fn carve_prefill_chunks_weighted(
+    waiting: &[WaitingSeq],
+    cost_budget: f64,
+    seq_budget: usize,
+    kv_free_tokens: usize,
+    quad_ref: f64,
+) -> Vec<PrefillChunk> {
+    assert!(quad_ref > 0.0);
+    let mut chunks = Vec::new();
+    let mut budget = cost_budget;
+    let mut kv_left = kv_free_tokens;
+    for w in waiting.iter().take(seq_budget) {
+        if budget <= 0.0 || kv_left == 0 {
+            break;
+        }
+        // Cost of n tokens starting at context c:
+        //   n + (c·n + n²/2) / quad_ref
+        // Solve for the largest n within budget (quadratic formula), then
+        // clamp by the remaining prompt and KV space.
+        let c = w.context_before as f64;
+        let a = 0.5 / quad_ref;
+        let b = 1.0 + c / quad_ref;
+        let n_max = ((-b + (b * b + 4.0 * a * budget).sqrt()) / (2.0 * a)).floor();
+        let take = (n_max.max(0.0) as usize)
+            .min(w.remaining_prefill)
+            .min(kv_left);
+        if take == 0 {
+            break;
+        }
+        let cost = take as f64 + (c * take as f64 + (take * take) as f64 / 2.0) / quad_ref;
+        chunks.push(PrefillChunk {
+            seq: w.seq,
+            tokens: take,
+            context_before: w.context_before,
+            completes_prompt: take == w.remaining_prefill,
+        });
+        budget -= cost;
+        kv_left -= take;
+    }
+    chunks
+}
+
+/// Shared helper: schedule the first `n` decodable sequences.
+pub fn take_decodes(decodable: &[DecodableSeq], n: usize) -> Vec<DecodeSlot> {
+    decodable
+        .iter()
+        .take(n)
+        .map(|d| DecodeSlot { seq: d.seq, context_before: d.context_before })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waiting(specs: &[(u64, usize)]) -> Vec<WaitingSeq> {
+        specs
+            .iter()
+            .map(|&(seq, rem)| WaitingSeq { seq, remaining_prefill: rem, context_before: 0 })
+            .collect()
+    }
+
+    #[test]
+    fn carving_respects_token_budget_and_marks_completion() {
+        let w = waiting(&[(1, 300), (2, 500)]);
+        let chunks = carve_prefill_chunks(&w, 400, 10, usize::MAX);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].tokens, 300);
+        assert!(chunks[0].completes_prompt);
+        assert_eq!(chunks[1].tokens, 100);
+        assert!(!chunks[1].completes_prompt);
+    }
+
+    #[test]
+    fn carving_respects_kv_limit() {
+        let w = waiting(&[(1, 300)]);
+        let chunks = carve_prefill_chunks(&w, 1000, 10, 120);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].tokens, 120);
+        assert!(!chunks[0].completes_prompt);
+    }
+
+    #[test]
+    fn carving_respects_seq_budget() {
+        let w = waiting(&[(1, 10), (2, 10), (3, 10)]);
+        let chunks = carve_prefill_chunks(&w, 1000, 2, usize::MAX);
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    fn zero_budget_yields_no_chunks() {
+        let w = waiting(&[(1, 10)]);
+        assert!(carve_prefill_chunks(&w, 0, 10, usize::MAX).is_empty());
+        assert!(carve_prefill_chunks(&w, 10, 10, 0).is_empty());
+    }
+
+    #[test]
+    fn weighted_carving_matches_plain_at_zero_context() {
+        // With context 0 and a huge quad_ref, weighting is ≈1 per token.
+        let w = waiting(&[(1, 300), (2, 500)]);
+        let plain = carve_prefill_chunks(&w, 400, 10, usize::MAX);
+        let weighted = carve_prefill_chunks_weighted(&w, 400.0, 10, usize::MAX, 1e12);
+        assert_eq!(plain, weighted);
+    }
+
+    #[test]
+    fn weighted_carving_shrinks_long_context_chunks() {
+        let near = vec![WaitingSeq { seq: 1, remaining_prefill: 4096, context_before: 0 }];
+        let far = vec![WaitingSeq { seq: 2, remaining_prefill: 4096, context_before: 16_384 }];
+        let a = carve_prefill_chunks_weighted(&near, 1024.0, 10, usize::MAX, 8192.0);
+        let b = carve_prefill_chunks_weighted(&far, 1024.0, 10, usize::MAX, 8192.0);
+        assert!(
+            b[0].tokens < a[0].tokens / 2,
+            "context 16K chunk ({}) should be much smaller than context-0 ({})",
+            b[0].tokens,
+            a[0].tokens
+        );
+    }
+
+    #[test]
+    fn weighted_carving_cost_accounting_is_consistent() {
+        // The carved chunks' summed cost never exceeds the budget.
+        let w = vec![
+            WaitingSeq { seq: 1, remaining_prefill: 700, context_before: 2000 },
+            WaitingSeq { seq: 2, remaining_prefill: 900, context_before: 0 },
+        ];
+        let quad_ref = 4096.0;
+        let budget = 800.0;
+        let chunks = carve_prefill_chunks_weighted(&w, budget, 10, usize::MAX, quad_ref);
+        let cost: f64 = chunks
+            .iter()
+            .map(|c| {
+                let n = c.tokens as f64;
+                n + (c.context_before as f64 * n + n * n / 2.0) / quad_ref
+            })
+            .sum();
+        assert!(cost <= budget * 1.01, "cost {cost} exceeds budget {budget}");
+        assert!(!chunks.is_empty());
+    }
+
+    #[test]
+    fn take_decodes_is_fcfs_prefix() {
+        let d = vec![
+            DecodableSeq { seq: 5, context_before: 10 },
+            DecodableSeq { seq: 6, context_before: 20 },
+        ];
+        let slots = take_decodes(&d, 1);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].seq, 5);
+        assert_eq!(take_decodes(&d, 99).len(), 2);
+    }
+
+    #[test]
+    fn waiting_tokens_sums_remaining() {
+        let v = ScheduleView {
+            waiting: waiting(&[(1, 10), (2, 30)]),
+            decodable: vec![],
+            total_decode_seqs: 0,
+            kv_free_rate: 1.0,
+            kv_free_tokens: 100,
+            in_flight_seqs: 0,
+            pipeline_depth: 4,
+            max_seqs_per_batch: 1024,
+        };
+        assert_eq!(v.waiting_tokens(), 40);
+    }
+}

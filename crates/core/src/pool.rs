@@ -1,0 +1,498 @@
+//! The global request pool shared by the scheduler and the execution engine.
+//!
+//! [`RequestPool`] owns every [`Sequence`] and enforces the invariants
+//! pipeline-parallel serving depends on:
+//!
+//! * a sequence's decode step is inside **at most one** in-flight
+//!   micro-batch (its KV state is strictly sequential); prefill chunks may
+//!   overlap across micro-batches only when chunked pipeline parallelism
+//!   is enabled (`with_cpp`), where FIFO stage order preserves chunk
+//!   dependencies,
+//! * plans are applied atomically: [`RequestPool::commit`] moves every
+//!   planned sequence in-flight before the batch starts, and
+//!   [`RequestPool::complete`] releases them and emits tokens when the
+//!   batch leaves the last pipeline stage,
+//! * preemption victims are chosen latest-arrival-first (vLLM's priority
+//!   order), and preempted sequences re-enter the waiting queue for
+//!   recomputation.
+//!
+//! The pool is deliberately independent of clocks and hardware: the
+//! discrete-event simulator drives it with virtual time, the threaded
+//! runtime with wall time.
+
+use std::collections::HashMap;
+
+use crate::plan::BatchPlan;
+use crate::policy::{DecodableSeq, ScheduleView, WaitingSeq};
+use crate::sequence::{Phase, Sequence};
+
+/// One output token produced by a completed micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmittedToken {
+    /// Sequence that produced the token.
+    pub seq: u64,
+    /// Whether this token finished the request.
+    pub finished: bool,
+}
+
+/// Everything a completed micro-batch did to the pool.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Output tokens emitted, in plan order (prefill completions first).
+    pub emitted: Vec<EmittedToken>,
+    /// Sequences that finished (their KV can be freed).
+    pub finished: Vec<u64>,
+}
+
+/// The global sequence pool.
+#[derive(Debug, Clone, Default)]
+pub struct RequestPool {
+    seqs: HashMap<u64, Sequence>,
+    /// Arrival order for FCFS scheduling (finished ids pruned lazily).
+    order: Vec<u64>,
+    max_seqs_per_batch: usize,
+    /// Chunked pipeline parallelism: allow a sequence's next prefill chunk
+    /// to be scheduled while earlier chunks are still in flight in later
+    /// pipeline stages.
+    cpp: bool,
+}
+
+impl RequestPool {
+    /// A pool with the engine's per-batch sequence cap (vLLM default 1024).
+    pub fn new(max_seqs_per_batch: usize) -> Self {
+        Self {
+            seqs: HashMap::new(),
+            order: Vec::new(),
+            max_seqs_per_batch,
+            cpp: false,
+        }
+    }
+
+    /// Enable chunked pipeline parallelism (intra-request chunk overlap,
+    /// the CPP optimisation the paper integrates in §3.4).
+    pub fn with_cpp(mut self, cpp: bool) -> Self {
+        self.cpp = cpp;
+        self
+    }
+
+    /// Admit a new request.
+    pub fn add(&mut self, id: u64, prompt_len: usize, max_output: usize) {
+        let prev = self.seqs.insert(id, Sequence::new(id, prompt_len, max_output));
+        assert!(prev.is_none(), "duplicate request id {id}");
+        self.order.push(id);
+    }
+
+    /// Admit a sequence that is already decoding: `context_len` KV tokens
+    /// are resident (the caller allocated them) and `generated ≥ 1` output
+    /// tokens exist. This is the decode-side admission path of a
+    /// prefill/decode-disaggregated deployment, where the prefill cluster
+    /// computed the context and shipped the KV across.
+    pub fn add_decoding(
+        &mut self,
+        id: u64,
+        context_len: usize,
+        generated: usize,
+        max_output: usize,
+    ) {
+        assert!(generated >= 1, "a decoding sequence has produced its first token");
+        assert!(generated < max_output, "already finished");
+        assert!(context_len >= generated, "context must cover the prompt");
+        let mut s = Sequence::new(id, context_len, max_output);
+        // The transferred context counts as prefilled; the original prompt
+        // (for recomputation after preemption) excludes the generated
+        // tokens whose KV rode along.
+        s.base_prompt_len = context_len + 1 - generated;
+        s.prefilled = context_len;
+        s.generated = generated;
+        s.phase = Phase::Decoding;
+        let prev = self.seqs.insert(id, s);
+        assert!(prev.is_none(), "duplicate request id {id}");
+        self.order.push(id);
+    }
+
+    /// Borrow a sequence.
+    pub fn seq(&self, id: u64) -> Option<&Sequence> {
+        self.seqs.get(&id)
+    }
+
+    /// Number of unfinished sequences.
+    pub fn unfinished_count(&self) -> usize {
+        self.seqs.values().filter(|s| !s.is_finished()).count()
+    }
+
+    /// Whether any sequence still needs work (including in-flight ones).
+    pub fn has_work(&self) -> bool {
+        self.unfinished_count() > 0
+    }
+
+    /// Build the scheduling snapshot. `kv_free_rate` / `kv_free_tokens`
+    /// come from the KV cache manager; `pipeline_depth` from the engine.
+    pub fn view(
+        &self,
+        kv_free_rate: f64,
+        kv_free_tokens: usize,
+        pipeline_depth: usize,
+    ) -> ScheduleView {
+        let mut waiting = Vec::new();
+        let mut decodable = Vec::new();
+        let mut total_decode = 0usize;
+        let mut in_flight = 0usize;
+        for &id in &self.order {
+            let s = &self.seqs[&id];
+            if s.is_finished() {
+                continue;
+            }
+            if s.is_in_flight() {
+                in_flight += 1;
+            }
+            match s.phase {
+                Phase::Waiting if s.prefill_schedulable(self.cpp) => waiting.push(WaitingSeq {
+                    seq: id,
+                    remaining_prefill: s.remaining_prefill(),
+                    context_before: s.context_len(),
+                }),
+                Phase::Decoding => {
+                    total_decode += 1;
+                    if s.decode_schedulable() {
+                        decodable.push(DecodableSeq { seq: id, context_before: s.context_len() });
+                    }
+                }
+                _ => {}
+            }
+        }
+        ScheduleView {
+            waiting,
+            decodable,
+            total_decode_seqs: total_decode,
+            kv_free_rate,
+            kv_free_tokens,
+            in_flight_seqs: in_flight,
+            pipeline_depth,
+            max_seqs_per_batch: self.max_seqs_per_batch,
+        }
+    }
+
+    /// Atomically move every sequence in `plan` in-flight. Panics if the
+    /// plan is stale (sequence missing, already in flight, or the chunk
+    /// does not match the sequence's committed context) — policies must
+    /// plan from a fresh view.
+    pub fn commit(&mut self, plan: &BatchPlan) {
+        for c in &plan.prefill {
+            let s = self.seqs.get_mut(&c.seq).expect("unknown sequence in plan");
+            assert_eq!(
+                c.context_before,
+                s.context_len(),
+                "stale prefill chunk for sequence {}",
+                c.seq
+            );
+            assert!(
+                c.completes_prompt == (c.tokens == s.remaining_prefill()),
+                "completion flag mismatch for sequence {}",
+                c.seq
+            );
+            s.commit_prefill(c.tokens);
+        }
+        for d in &plan.decode {
+            let s = self.seqs.get_mut(&d.seq).expect("unknown sequence in plan");
+            assert_eq!(
+                d.context_before,
+                s.context_len(),
+                "stale decode slot for sequence {}",
+                d.seq
+            );
+            s.commit_decode();
+        }
+    }
+
+    /// Apply the completion of a committed batch, emitting tokens and
+    /// collecting finished sequences.
+    pub fn complete(&mut self, plan: &BatchPlan) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        let mut apply = |id: u64, emitted: bool, seqs: &HashMap<u64, Sequence>| {
+            if emitted {
+                let finished = seqs[&id].is_finished();
+                outcome.emitted.push(EmittedToken { seq: id, finished });
+                if finished {
+                    outcome.finished.push(id);
+                }
+            }
+        };
+        for c in &plan.prefill {
+            let s = self.seqs.get_mut(&c.seq).expect("unknown sequence in plan");
+            let emitted = s.complete_prefill(c.completes_prompt);
+            apply(c.seq, emitted, &self.seqs);
+        }
+        for d in &plan.decode {
+            let s = self.seqs.get_mut(&d.seq).expect("unknown sequence in plan");
+            let emitted = s.complete_decode();
+            apply(d.seq, emitted, &self.seqs);
+        }
+        self.prune_finished();
+        outcome
+    }
+
+    /// Pick and reset a preemption victim: the **latest-arrival** sequence
+    /// that is decoding and not in flight (vLLM preempts the lowest
+    /// priority first). Returns its id and the KV tokens it held, or `None`
+    /// if nothing is evictable.
+    pub fn preempt_latest(&mut self) -> Option<(u64, usize)> {
+        self.preempt_latest_excluding(&[])
+    }
+
+    /// Like [`RequestPool::preempt_latest`] but never evicts an id in
+    /// `exclude` (the engine passes the sequences already placed in the
+    /// micro-batch being formed).
+    pub fn preempt_latest_excluding(&mut self, exclude: &[u64]) -> Option<(u64, usize)> {
+        let victim = self
+            .order
+            .iter()
+            .rev()
+            .copied()
+            .find(|id| {
+                !exclude.contains(id)
+                    && self
+                        .seqs
+                        .get(id)
+                        .is_some_and(|s| s.phase == Phase::Decoding && !s.is_in_flight())
+            })?;
+        let s = self.seqs.get_mut(&victim).expect("victim exists");
+        let held = s.context_len();
+        s.reset_for_recompute();
+        Some((victim, held))
+    }
+
+    /// Stall breaker: when nothing is in flight and no plan can be formed
+    /// (e.g. partially-prefilled sequences hold the whole KV cache), evict
+    /// the **latest-arrival** waiting sequence that already committed some
+    /// context, forcing it to recompute later. Returns its id and the KV
+    /// tokens it held.
+    pub fn preempt_stalled_waiting(&mut self) -> Option<(u64, usize)> {
+        let victim = self.order.iter().rev().copied().find(|id| {
+            self.seqs.get(id).is_some_and(|s| {
+                s.phase == Phase::Waiting && !s.is_in_flight() && s.context_len() > 0
+            })
+        })?;
+        let s = self.seqs.get_mut(&victim).expect("victim exists");
+        let held = s.context_len();
+        s.reset_for_recompute();
+        Some((victim, held))
+    }
+
+    /// Abort a request that can never be served (e.g. its prompt exceeds
+    /// the cluster's entire KV capacity). The sequence is dropped without
+    /// emitting tokens; it must not be in flight.
+    pub fn abort(&mut self, id: u64) {
+        let s = self.seqs.get(&id).expect("aborting unknown sequence");
+        assert!(!s.is_in_flight(), "cannot abort an in-flight sequence");
+        self.seqs.remove(&id);
+        self.order.retain(|&x| x != id);
+    }
+
+    /// Total preemptions across all live sequences.
+    pub fn preemption_total(&self) -> u64 {
+        self.seqs.values().map(|s| s.preemptions as u64).sum()
+    }
+
+    fn prune_finished(&mut self) {
+        if self.order.len() > 64 && self.order.len() > 2 * self.unfinished_count() {
+            let seqs = &self.seqs;
+            self.order.retain(|id| seqs.get(id).is_some_and(|s| !s.is_finished()));
+            self.seqs.retain(|_, s| !s.is_finished());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{DecodeSlot, PrefillChunk};
+    use crate::policy::SchedulePolicy;
+    use crate::sarathi::SarathiServe;
+    use crate::throttle::TokenThrottle;
+
+    fn chunk(seq: u64, tokens: usize, before: usize, done: bool) -> PrefillChunk {
+        PrefillChunk { seq, tokens, context_before: before, completes_prompt: done }
+    }
+
+    #[test]
+    fn view_partitions_sequences_by_phase() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 100, 5);
+        pool.add(2, 50, 5);
+        // Prefill seq 2 completely; it becomes Decoding.
+        let plan = BatchPlan { prefill: vec![chunk(2, 50, 0, true)], decode: vec![] };
+        pool.commit(&plan);
+        pool.complete(&plan);
+        let v = pool.view(1.0, 1000, 4);
+        assert_eq!(v.waiting.len(), 1);
+        assert_eq!(v.waiting[0].seq, 1);
+        assert_eq!(v.decodable.len(), 1);
+        assert_eq!(v.decodable[0].seq, 2);
+        assert_eq!(v.decodable[0].context_before, 50);
+        assert_eq!(v.total_decode_seqs, 1);
+    }
+
+    #[test]
+    fn in_flight_sequences_vanish_from_view_but_count_in_rd() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 10, 5);
+        let p1 = BatchPlan { prefill: vec![chunk(1, 10, 0, true)], decode: vec![] };
+        pool.commit(&p1);
+        pool.complete(&p1);
+        // Now decoding; put its decode step in flight.
+        let p2 = BatchPlan {
+            prefill: vec![],
+            decode: vec![DecodeSlot { seq: 1, context_before: 10 }],
+        };
+        pool.commit(&p2);
+        let v = pool.view(1.0, 1000, 4);
+        assert!(v.decodable.is_empty(), "in-flight seq is not schedulable");
+        assert_eq!(v.total_decode_seqs, 1, "but it counts in #RD");
+        assert_eq!(v.in_flight_seqs, 1);
+        pool.complete(&p2);
+        assert_eq!(pool.view(1.0, 1000, 4).decodable.len(), 1);
+    }
+
+    #[test]
+    fn complete_emits_tokens_and_finishes() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 10, 2);
+        let p1 = BatchPlan { prefill: vec![chunk(1, 10, 0, true)], decode: vec![] };
+        pool.commit(&p1);
+        let o1 = pool.complete(&p1);
+        assert_eq!(o1.emitted, vec![EmittedToken { seq: 1, finished: false }]);
+        let p2 = BatchPlan {
+            prefill: vec![],
+            decode: vec![DecodeSlot { seq: 1, context_before: 10 }],
+        };
+        pool.commit(&p2);
+        let o2 = pool.complete(&p2);
+        assert_eq!(o2.emitted, vec![EmittedToken { seq: 1, finished: true }]);
+        assert_eq!(o2.finished, vec![1]);
+        assert!(!pool.has_work());
+    }
+
+    #[test]
+    fn partial_chunk_emits_nothing() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 100, 2);
+        let p = BatchPlan { prefill: vec![chunk(1, 40, 0, false)], decode: vec![] };
+        pool.commit(&p);
+        let o = pool.complete(&p);
+        assert!(o.emitted.is_empty());
+        let v = pool.view(1.0, 1000, 4);
+        assert_eq!(v.waiting[0].remaining_prefill, 60);
+        assert_eq!(v.waiting[0].context_before, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale prefill chunk")]
+    fn stale_plan_rejected() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 100, 2);
+        let p = BatchPlan { prefill: vec![chunk(1, 40, 10, false)], decode: vec![] };
+        pool.commit(&p);
+    }
+
+    #[test]
+    fn preempt_latest_picks_newest_decoder() {
+        let mut pool = RequestPool::new(1024);
+        for id in [1, 2] {
+            pool.add(id, 10, 5);
+            let p = BatchPlan { prefill: vec![chunk(id, 10, 0, true)], decode: vec![] };
+            pool.commit(&p);
+            pool.complete(&p);
+        }
+        let (victim, held) = pool.preempt_latest().unwrap();
+        assert_eq!(victim, 2);
+        assert_eq!(held, 10);
+        let v = pool.view(1.0, 1000, 4);
+        assert_eq!(v.decodable.len(), 1);
+        assert_eq!(v.waiting.len(), 1);
+        assert_eq!(v.waiting[0].seq, 2);
+        // Recompute includes the generated token.
+        assert_eq!(v.waiting[0].remaining_prefill, 11);
+        assert_eq!(pool.preemption_total(), 1);
+    }
+
+    #[test]
+    fn cpp_pool_overlaps_prefill_chunks_and_emits_once() {
+        let mut pool = RequestPool::new(1024).with_cpp(true);
+        pool.add(1, 100, 3);
+        let p1 = BatchPlan { prefill: vec![chunk(1, 60, 0, false)], decode: vec![] };
+        pool.commit(&p1);
+        // With CPP the remainder is schedulable while chunk 1 is in flight.
+        let v = pool.view(1.0, 1000, 4);
+        assert_eq!(v.waiting.len(), 1);
+        assert_eq!(v.waiting[0].remaining_prefill, 40);
+        assert_eq!(v.waiting[0].context_before, 60);
+        let p2 = BatchPlan { prefill: vec![chunk(1, 40, 60, true)], decode: vec![] };
+        pool.commit(&p2);
+        assert!(pool.view(1.0, 1000, 4).waiting.is_empty());
+        // Chunks complete in pipeline order; only the final one emits.
+        let o1 = pool.complete(&p1);
+        assert!(o1.emitted.is_empty());
+        let o2 = pool.complete(&p2);
+        assert_eq!(o2.emitted, vec![EmittedToken { seq: 1, finished: false }]);
+        assert_eq!(pool.seq(1).unwrap().generated, 1);
+    }
+
+    #[test]
+    fn non_cpp_pool_hides_in_flight_waiting_sequences() {
+        let mut pool = RequestPool::new(1024); // cpp off
+        pool.add(1, 100, 3);
+        let p1 = BatchPlan { prefill: vec![chunk(1, 60, 0, false)], decode: vec![] };
+        pool.commit(&p1);
+        assert!(pool.view(1.0, 1000, 4).waiting.is_empty());
+    }
+
+    #[test]
+    fn preempt_skips_in_flight_sequences() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 10, 5);
+        let p = BatchPlan { prefill: vec![chunk(1, 10, 0, true)], decode: vec![] };
+        pool.commit(&p);
+        pool.complete(&p);
+        let d = BatchPlan {
+            prefill: vec![],
+            decode: vec![DecodeSlot { seq: 1, context_before: 10 }],
+        };
+        pool.commit(&d);
+        assert!(pool.preempt_latest().is_none());
+    }
+
+    /// Drive a full workload through a policy end-to-end on the pool alone:
+    /// every request must finish with exactly `max_output` tokens, under
+    /// both Sarathi and Token Throttling.
+    fn drive_to_completion(policy: &dyn SchedulePolicy) -> (usize, usize) {
+        let mut pool = RequestPool::new(1024);
+        for id in 0..20 {
+            pool.add(id, 64 + (id as usize * 13) % 200, 1 + (id as usize * 7) % 30);
+        }
+        let mut iterations = 0;
+        let mut tokens = 0;
+        while pool.has_work() {
+            iterations += 1;
+            assert!(iterations < 10_000, "policy failed to drain the pool");
+            let view = pool.view(1.0, usize::MAX, 4);
+            let plan = policy.plan(&view);
+            if plan.is_empty() {
+                // Nothing schedulable (everything in flight) cannot happen
+                // in this single-batch loop.
+                panic!("empty plan with work remaining");
+            }
+            pool.commit(&plan);
+            tokens += pool.complete(&plan).emitted.len();
+        }
+        (iterations, tokens)
+    }
+
+    #[test]
+    fn policies_drain_the_pool_and_emit_every_token() {
+        let expected: usize = (0..20u64).map(|id| 1 + (id as usize * 7) % 30).sum();
+        let (_, tokens) = drive_to_completion(&SarathiServe::default());
+        assert_eq!(tokens, expected);
+        let (_, tokens) = drive_to_completion(&TokenThrottle::default());
+        assert_eq!(tokens, expected);
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-request sequence state machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle phase of a sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Prompt (or recomputed context) not fully prefilled yet.
+    Waiting,
+    /// Context resident; producing output tokens one decode step at a time.
+    Decoding,
+    /// All output tokens produced.
+    Finished,
+}
+
+/// One request's scheduling state.
+///
+/// Token accounting follows the engines the paper builds on:
+///
+/// * a prefill over `n` tokens writes `n` KV entries and, when it covers the
+///   end of the prompt, emits the **first output token**;
+/// * each decode step appends one KV entry (for the token being fed) and
+///   emits one output token;
+/// * a preemption drops all KV; the sequence re-prefills its original
+///   prompt *plus every token generated so far* (their text is known, so
+///   they are recomputed as prompt — the "costly recomputation" of §3.1.3),
+///   after which the next genuinely new token is emitted.
+///
+/// `prefilled`/`decode_kv` count tokens *committed* to micro-batches (KV
+/// slots reserved), which may still be in flight; `generated` counts output
+/// tokens whose micro-batch has completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sequence {
+    /// Request id (doubles as the KV sequence id).
+    pub id: u64,
+    /// Original prompt length in tokens.
+    pub base_prompt_len: usize,
+    /// Current prefill target: original prompt plus any generated tokens
+    /// folded back in by a preemption.
+    pub prompt_len: usize,
+    /// Output tokens to produce before finishing.
+    pub max_output: usize,
+    /// Prefill tokens committed to batches since the last (re)start.
+    pub prefilled: usize,
+    /// KV slots appended by committed decode steps since the last prefill.
+    pub decode_kv: usize,
+    /// Output tokens produced so far (monotone across preemptions).
+    pub generated: usize,
+    /// Number of in-flight micro-batches containing this sequence (at
+    /// most 1 normally; >1 only for prefill chunks under chunked pipeline
+    /// parallelism).
+    pub in_flight: u16,
+    /// Current phase.
+    pub phase: Phase,
+    /// Times this sequence was preempted.
+    pub preemptions: u32,
+}
+
+impl Sequence {
+    /// A fresh waiting sequence.
+    pub fn new(id: u64, prompt_len: usize, max_output: usize) -> Self {
+        assert!(prompt_len >= 1, "empty prompt");
+        assert!(max_output >= 1, "must produce at least one token");
+        Self {
+            id,
+            base_prompt_len: prompt_len,
+            prompt_len,
+            max_output,
+            prefilled: 0,
+            decode_kv: 0,
+            generated: 0,
+            in_flight: 0,
+            phase: Phase::Waiting,
+            preemptions: 0,
+        }
+    }
+
+    /// Prompt tokens not yet committed to any batch.
+    pub fn remaining_prefill(&self) -> usize {
+        self.prompt_len - self.prefilled
+    }
+
+    /// KV slots committed for this sequence (what the cache holds or will
+    /// hold once in-flight batches land).
+    pub fn context_len(&self) -> usize {
+        self.prefilled + self.decode_kv
+    }
+
+    /// Whether the sequence is inside at least one in-flight micro-batch.
+    pub fn is_in_flight(&self) -> bool {
+        self.in_flight > 0
+    }
+
+    /// Whether the sequence can be handed more prefill work right now.
+    /// With `cpp` (chunked pipeline parallelism, Mooncake-style), the next
+    /// chunk may be scheduled while earlier chunks are still in flight in
+    /// later pipeline stages — chunk order through the FIFO stages
+    /// guarantees chunk *i*'s KV is written at each stage before chunk
+    /// *i+1* arrives there.
+    pub fn prefill_schedulable(&self, cpp: bool) -> bool {
+        self.phase == Phase::Waiting
+            && self.remaining_prefill() > 0
+            && (cpp || !self.is_in_flight())
+    }
+
+    /// Whether the sequence can be handed a decode step right now (decode
+    /// steps never overlap: each reads the previous one's KV).
+    pub fn decode_schedulable(&self) -> bool {
+        self.phase == Phase::Decoding && !self.is_in_flight()
+    }
+
+    /// Whether the request has produced every output token.
+    pub fn is_finished(&self) -> bool {
+        self.phase == Phase::Finished
+    }
+
+    /// Commit a prefill chunk of `tokens` to an in-flight batch.
+    pub(crate) fn commit_prefill(&mut self, tokens: usize) {
+        debug_assert!(self.prefill_schedulable(true));
+        debug_assert!(tokens >= 1 && tokens <= self.remaining_prefill());
+        self.prefilled += tokens;
+        self.in_flight += 1;
+    }
+
+    /// Commit a decode step to an in-flight batch.
+    pub(crate) fn commit_decode(&mut self) {
+        debug_assert!(self.decode_schedulable());
+        self.decode_kv += 1;
+        self.in_flight += 1;
+    }
+
+    /// The batch containing a prefill chunk of this sequence completed.
+    /// `final_chunk` is the committed chunk's `completes_prompt` flag (the
+    /// sequence cannot tell on its own under CPP, where a later chunk may
+    /// already be committed when an earlier one lands). Returns `true` if
+    /// the first output token was emitted.
+    pub(crate) fn complete_prefill(&mut self, final_chunk: bool) -> bool {
+        debug_assert!(self.is_in_flight(), "completion of a non-in-flight sequence");
+        debug_assert_eq!(self.phase, Phase::Waiting);
+        self.in_flight -= 1;
+        if final_chunk {
+            debug_assert_eq!(self.remaining_prefill(), 0);
+            debug_assert_eq!(self.in_flight, 0, "final chunk completes last");
+            self.generated += 1;
+            self.phase = if self.generated >= self.max_output {
+                Phase::Finished
+            } else {
+                Phase::Decoding
+            };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The batch containing this sequence's decode step completed. Returns
+    /// `true` (a token is always emitted).
+    pub(crate) fn complete_decode(&mut self) -> bool {
+        debug_assert!(self.is_in_flight(), "completion of a non-in-flight sequence");
+        debug_assert_eq!(self.phase, Phase::Decoding);
+        self.in_flight -= 1;
+        self.generated += 1;
+        if self.generated >= self.max_output {
+            self.phase = Phase::Finished;
+        }
+        true
+    }
+
+    /// Preempt: all KV is lost; fold generated text into the prompt so the
+    /// context is recomputed by prefill, after which decoding resumes.
+    pub(crate) fn reset_for_recompute(&mut self) {
+        assert!(self.phase != Phase::Finished, "preempting a finished sequence");
+        assert!(!self.is_in_flight(), "preempting an in-flight sequence");
+        self.prompt_len = self.base_prompt_len + self.generated;
+        self.prefilled = 0;
+        self.decode_kv = 0;
+        self.phase = Phase::Waiting;
+        self.preemptions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sequence_is_waiting_and_schedulable() {
+        let s = Sequence::new(1, 100, 10);
+        assert_eq!(s.phase, Phase::Waiting);
+        assert!(s.prefill_schedulable(false));
+        assert!(!s.decode_schedulable());
+        assert_eq!(s.remaining_prefill(), 100);
+        assert_eq!(s.context_len(), 0);
+    }
+
+    #[test]
+    fn chunked_prefill_lifecycle_emits_first_token_on_final_chunk() {
+        let mut s = Sequence::new(1, 100, 3);
+        s.commit_prefill(60);
+        assert!(s.is_in_flight() && !s.prefill_schedulable(false));
+        assert!(!s.complete_prefill(false), "non-final chunk emits nothing");
+        assert!(s.prefill_schedulable(false));
+        s.commit_prefill(40);
+        assert!(s.complete_prefill(true), "final chunk emits the first token");
+        assert_eq!(s.phase, Phase::Decoding);
+        assert_eq!(s.generated, 1);
+        assert_eq!(s.context_len(), 100);
+    }
+
+    #[test]
+    fn cpp_allows_overlapping_prefill_chunks() {
+        let mut s = Sequence::new(1, 100, 3);
+        s.commit_prefill(60);
+        assert!(!s.prefill_schedulable(false), "classic chunking waits");
+        assert!(s.prefill_schedulable(true), "CPP overlaps chunks");
+        s.commit_prefill(40);
+        assert_eq!(s.in_flight, 2);
+        // Chunks complete in pipeline order: first the non-final...
+        assert!(!s.complete_prefill(false));
+        assert_eq!(s.in_flight, 1);
+        // ...then the final one emits the first token.
+        assert!(s.complete_prefill(true));
+        assert_eq!(s.phase, Phase::Decoding);
+        assert_eq!(s.generated, 1);
+    }
+
+    #[test]
+    fn decode_steps_append_kv_and_finish_at_max_output() {
+        let mut s = Sequence::new(1, 10, 3);
+        s.commit_prefill(10);
+        s.complete_prefill(true);
+        s.commit_decode();
+        assert_eq!(s.context_len(), 11);
+        assert!(s.complete_decode());
+        assert_eq!(s.generated, 2);
+        s.commit_decode();
+        assert!(s.complete_decode());
+        assert_eq!(s.phase, Phase::Finished);
+        assert!(s.is_finished());
+        assert!(!s.decode_schedulable());
+    }
+
+    #[test]
+    fn single_output_request_finishes_at_prefill() {
+        let mut s = Sequence::new(1, 5, 1);
+        s.commit_prefill(5);
+        assert!(s.complete_prefill(true));
+        assert_eq!(s.phase, Phase::Finished);
+    }
+
+    #[test]
+    fn recompute_folds_generated_tokens_into_prompt() {
+        let mut s = Sequence::new(1, 100, 10);
+        s.commit_prefill(100);
+        s.complete_prefill(true); // token 1
+        s.commit_decode();
+        s.complete_decode(); // token 2
+        s.reset_for_recompute();
+        assert_eq!(s.phase, Phase::Waiting);
+        assert_eq!(s.prompt_len, 102);
+        assert_eq!(s.prefilled, 0);
+        assert_eq!(s.context_len(), 0);
+        assert_eq!(s.generated, 2, "client-visible tokens survive preemption");
+        assert_eq!(s.preemptions, 1);
+        // Re-prefill then continue: the final chunk emits token 3.
+        s.commit_prefill(102);
+        assert!(s.complete_prefill(true));
+        assert_eq!(s.generated, 3);
+        assert_eq!(s.phase, Phase::Decoding);
+    }
+
+    #[test]
+    fn double_preemption_does_not_double_fold() {
+        let mut s = Sequence::new(1, 50, 10);
+        s.commit_prefill(50);
+        s.complete_prefill(true); // token 1
+        s.reset_for_recompute();
+        assert_eq!(s.prompt_len, 51);
+        s.reset_for_recompute();
+        assert_eq!(s.prompt_len, 51, "prompt derives from base, not cumulative");
+        assert_eq!(s.preemptions, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prompt")]
+    fn zero_prompt_rejected() {
+        Sequence::new(1, 0, 1);
+    }
+}

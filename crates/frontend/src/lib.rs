@@ -1,0 +1,29 @@
+//! The user-facing frontend: RESTful OpenAI-compatible API, tokenizer and
+//! command-line interface.
+//!
+//! The paper's implementation "features a RESTful API frontend and offers
+//! core OpenAI-compatible APIs" (§3.4), served by a dedicated frontend
+//! process decoupled from model execution (§3.3). This crate reproduces
+//! that surface on top of `gllm-runtime`:
+//!
+//! * [`tokenizer::Tokenizer`] — a byte-level tokenizer (the built-in test
+//!   model's 256-entry vocabulary maps 1:1 onto bytes, so byte-level
+//!   tokenization is exact, not a stand-in),
+//! * [`http`] — a minimal HTTP/1.1 server on `std::net` (no external web
+//!   framework; requests are parsed and routed by hand),
+//! * [`openai`] — the `/v1/completions` (blocking and SSE-streaming),
+//!   `/v1/models` and `/health` endpoints with OpenAI-shaped JSON,
+//! * [`api_server::ApiServer`] — glue: one dispatcher thread demultiplexes
+//!   the runtime's token stream to per-request channels, mirroring the
+//!   paper's decoupled frontend,
+//! * `src/bin/gllm.rs` — the CLI: `gllm serve`, `gllm simulate` and
+//!   `gllm bench-serving` (the artifact's `api_server` +
+//!   `benchmark_serving.py` workflow).
+
+pub mod api_server;
+pub mod http;
+pub mod openai;
+pub mod tokenizer;
+
+pub use api_server::ApiServer;
+pub use tokenizer::Tokenizer;

@@ -1,0 +1,238 @@
+//! OpenAI-compatible request/response types for `/v1/completions`.
+
+use serde::{Deserialize, Serialize};
+
+/// `POST /v1/completions` request body (the subset the paper's artifact
+/// exercises via `benchmark_serving.py`).
+#[derive(Debug, Clone, Deserialize)]
+pub struct CompletionRequest {
+    /// Model name (informational; one model is loaded).
+    #[serde(default)]
+    pub model: Option<String>,
+    /// The prompt text.
+    pub prompt: String,
+    /// Output tokens to generate.
+    #[serde(default = "default_max_tokens")]
+    pub max_tokens: usize,
+    /// Sampling temperature; 0 = greedy.
+    #[serde(default)]
+    pub temperature: f32,
+    /// Top-k truncation (0 = off).
+    #[serde(default)]
+    pub top_k: usize,
+    /// Nucleus mass (1.0 = off).
+    #[serde(default = "default_top_p")]
+    pub top_p: f32,
+    /// Sampling seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Stream tokens as SSE events.
+    #[serde(default)]
+    pub stream: bool,
+}
+
+fn default_max_tokens() -> usize {
+    16
+}
+fn default_top_p() -> f32 {
+    1.0
+}
+
+/// One completion choice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Choice {
+    /// Generated text (or the delta in streaming mode).
+    pub text: String,
+    /// Choice index (always 0 here).
+    pub index: usize,
+    /// `"length"` when `max_tokens` was produced; `null` mid-stream.
+    pub finish_reason: Option<String>,
+}
+
+/// Token accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Usage {
+    /// Prompt tokens.
+    pub prompt_tokens: usize,
+    /// Generated tokens.
+    pub completion_tokens: usize,
+    /// Sum of the above.
+    pub total_tokens: usize,
+}
+
+/// `POST /v1/completions` response body (also the SSE event payload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompletionResponse {
+    /// Response id (`cmpl-<n>`).
+    pub id: String,
+    /// `"text_completion"`.
+    pub object: String,
+    /// Model name.
+    pub model: String,
+    /// Completion choices.
+    pub choices: Vec<Choice>,
+    /// Present on the final (or only) payload.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub usage: Option<Usage>,
+}
+
+/// One chat message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChatMessage {
+    /// `"system"`, `"user"` or `"assistant"`.
+    pub role: String,
+    /// Message text.
+    pub content: String,
+}
+
+/// `POST /v1/chat/completions` request body.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ChatCompletionRequest {
+    /// Model name (informational).
+    #[serde(default)]
+    pub model: Option<String>,
+    /// Conversation so far.
+    pub messages: Vec<ChatMessage>,
+    /// Output tokens to generate.
+    #[serde(default = "default_max_tokens")]
+    pub max_tokens: usize,
+    /// Sampling temperature; 0 = greedy.
+    #[serde(default)]
+    pub temperature: f32,
+    /// Top-k truncation (0 = off).
+    #[serde(default)]
+    pub top_k: usize,
+    /// Nucleus mass (1.0 = off).
+    #[serde(default = "default_top_p")]
+    pub top_p: f32,
+    /// Sampling seed.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl ChatCompletionRequest {
+    /// Flatten the conversation into a prompt string (a real deployment
+    /// would apply the model's chat template here).
+    pub fn to_prompt(&self) -> String {
+        let mut out = String::new();
+        for m in &self.messages {
+            out.push_str(&m.role);
+            out.push_str(": ");
+            out.push_str(&m.content);
+            out.push('\n');
+        }
+        out.push_str("assistant: ");
+        out
+    }
+}
+
+/// One chat choice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChatChoice {
+    /// The assistant's reply.
+    pub message: ChatMessage,
+    /// Choice index.
+    pub index: usize,
+    /// `"length"`.
+    pub finish_reason: Option<String>,
+}
+
+/// `POST /v1/chat/completions` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChatCompletionResponse {
+    /// Response id (`chatcmpl-<n>`).
+    pub id: String,
+    /// `"chat.completion"`.
+    pub object: String,
+    /// Model name.
+    pub model: String,
+    /// Choices.
+    pub choices: Vec<ChatChoice>,
+    /// Token accounting.
+    pub usage: Usage,
+}
+
+/// `GET /v1/models` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelList {
+    /// `"list"`.
+    pub object: String,
+    /// Available models.
+    pub data: Vec<ModelCard>,
+}
+
+/// One model entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelCard {
+    /// Model id.
+    pub id: String,
+    /// `"model"`.
+    pub object: String,
+    /// Owner tag.
+    pub owned_by: String,
+}
+
+/// Error body (OpenAI shape).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Error payload.
+    pub error: ErrorBody,
+}
+
+/// Error details.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable message.
+    pub message: String,
+    /// Error type slug.
+    #[serde(rename = "type")]
+    pub kind: String,
+}
+
+impl ErrorResponse {
+    /// Build an error body.
+    pub fn new(kind: &str, message: impl Into<String>) -> Self {
+        Self { error: ErrorBody { message: message.into(), kind: kind.into() } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_defaults_apply() {
+        let r: CompletionRequest = serde_json::from_str(r#"{"prompt":"hi"}"#).unwrap();
+        assert_eq!(r.max_tokens, 16);
+        assert_eq!(r.temperature, 0.0);
+        assert_eq!(r.top_p, 1.0);
+        assert!(!r.stream);
+    }
+
+    #[test]
+    fn response_serialises_openai_shape() {
+        let resp = CompletionResponse {
+            id: "cmpl-1".into(),
+            object: "text_completion".into(),
+            model: "tiny".into(),
+            choices: vec![Choice { text: "ok".into(), index: 0, finish_reason: Some("length".into()) }],
+            usage: Some(Usage { prompt_tokens: 3, completion_tokens: 2, total_tokens: 5 }),
+        };
+        let v: serde_json::Value = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(v["choices"][0]["text"], "ok");
+        assert_eq!(v["usage"]["total_tokens"], 5);
+    }
+
+    #[test]
+    fn usage_omitted_mid_stream() {
+        let resp = CompletionResponse {
+            id: "cmpl-1".into(),
+            object: "text_completion".into(),
+            model: "tiny".into(),
+            choices: vec![Choice { text: "t".into(), index: 0, finish_reason: None }],
+            usage: None,
+        };
+        let s = serde_json::to_string(&resp).unwrap();
+        assert!(!s.contains("usage"));
+    }
+}

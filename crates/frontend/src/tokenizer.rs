@@ -1,0 +1,80 @@
+//! Byte-level tokenizer.
+//!
+//! The built-in executable model has a 256-entry vocabulary, so byte-level
+//! tokenization is a *bijection*, not an approximation: every UTF-8 string
+//! round-trips exactly. (Real deployments plug a trained tokenizer in at
+//! this interface; the serving stack is agnostic to the mapping.)
+
+/// Encodes text to token ids and back.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab_size: u32,
+}
+
+impl Tokenizer {
+    /// A tokenizer for a model with at least 256 vocabulary entries.
+    pub fn byte_level(vocab_size: usize) -> Self {
+        assert!(vocab_size >= 256, "byte-level needs >= 256 entries");
+        Self { vocab_size: vocab_size as u32 }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size as usize
+    }
+
+    /// Encode text to token ids (one per UTF-8 byte).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        text.bytes().map(u32::from).collect()
+    }
+
+    /// Decode token ids back to text. Ids ≥ 256 (reachable when the model's
+    /// vocabulary exceeds the byte range) and invalid UTF-8 are replaced
+    /// with `U+FFFD`.
+    pub fn decode(&self, tokens: &[u32]) -> String {
+        let bytes: Vec<u8> = tokens
+            .iter()
+            .map(|&t| u8::try_from(t).unwrap_or(b'?'))
+            .collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Decode a single token (streaming).
+    pub fn decode_one(&self, token: u32) -> String {
+        self.decode(std::slice::from_ref(&token))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trip() {
+        let t = Tokenizer::byte_level(256);
+        let text = "Hello, gLLM! 123";
+        assert_eq!(t.decode(&t.encode(text)), text);
+        assert_eq!(t.encode("abc"), vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn unicode_round_trip() {
+        let t = Tokenizer::byte_level(256);
+        let text = "流水线并行 🚀 Ünïcødé";
+        assert_eq!(t.decode(&t.encode(text)), text);
+    }
+
+    #[test]
+    fn out_of_byte_range_tokens_are_replaced() {
+        let t = Tokenizer::byte_level(1024);
+        let s = t.decode(&[72, 105, 999]);
+        assert!(s.starts_with("Hi"));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte-level needs")]
+    fn tiny_vocab_rejected() {
+        Tokenizer::byte_level(100);
+    }
+}

@@ -1,0 +1,212 @@
+//! Reference-counted physical block allocator.
+//!
+//! Physical KV blocks are identified by dense [`BlockId`]s so the real
+//! transformer can index a flat tensor with them. Reference counting lets
+//! multiple sequences share prefix blocks (the prefix-caching feature the
+//! paper lists among its integrated optimizations in §3.4); a block returns
+//! to the free list only when its last owner releases it.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of one physical KV block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The dense index, for slot arithmetic.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Free-list allocator over a fixed pool of blocks with per-block reference
+/// counts.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    ref_counts: Vec<u32>,
+    free_list: Vec<BlockId>,
+}
+
+impl BlockAllocator {
+    /// An allocator over `num_blocks` physical blocks, all initially free.
+    pub fn new(num_blocks: usize) -> Self {
+        assert!(num_blocks > 0, "KV cache must have at least one block");
+        assert!(num_blocks <= u32::MAX as usize, "block pool too large");
+        Self {
+            ref_counts: vec![0; num_blocks],
+            // Pop from the back; reversed so low ids are handed out first,
+            // which makes tests and traces easier to read.
+            free_list: (0..num_blocks as u32).rev().map(BlockId).collect(),
+        }
+    }
+
+    /// Total blocks in the pool.
+    #[inline]
+    pub fn num_total(&self) -> usize {
+        self.ref_counts.len()
+    }
+
+    /// Blocks currently free.
+    #[inline]
+    pub fn num_free(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Blocks with at least one owner.
+    #[inline]
+    pub fn num_used(&self) -> usize {
+        self.num_total() - self.num_free()
+    }
+
+    /// Fraction of the pool that is free — the paper's `KV_free ∈ [0, 1]`.
+    #[inline]
+    pub fn free_rate(&self) -> f64 {
+        self.num_free() as f64 / self.num_total() as f64
+    }
+
+    /// Allocate one block with reference count 1, or `None` if exhausted.
+    pub fn allocate(&mut self) -> Option<BlockId> {
+        let id = self.free_list.pop()?;
+        debug_assert_eq!(self.ref_counts[id.index()], 0);
+        self.ref_counts[id.index()] = 1;
+        Some(id)
+    }
+
+    /// Allocate `n` blocks atomically: either all succeed or none are taken.
+    pub fn allocate_many(&mut self, n: usize) -> Option<Vec<BlockId>> {
+        if self.num_free() < n {
+            return None;
+        }
+        Some((0..n).map(|_| self.allocate().expect("checked")).collect())
+    }
+
+    /// Add one owner to an allocated block (prefix sharing).
+    pub fn retain(&mut self, id: BlockId) {
+        let rc = &mut self.ref_counts[id.index()];
+        assert!(*rc > 0, "retain of a free block {id:?}");
+        *rc += 1;
+    }
+
+    /// Drop one owner; the block returns to the free list when the count
+    /// reaches zero.
+    pub fn release(&mut self, id: BlockId) {
+        let rc = &mut self.ref_counts[id.index()];
+        assert!(*rc > 0, "double free of block {id:?}");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free_list.push(id);
+        }
+    }
+
+    /// Current owner count of a block.
+    pub fn ref_count(&self, id: BlockId) -> u32 {
+        self.ref_counts[id.index()]
+    }
+
+    /// Whether a block has exactly one owner (safe to write in place).
+    pub fn is_exclusive(&self, id: BlockId) -> bool {
+        self.ref_counts[id.index()] == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocates_all_blocks_then_fails() {
+        let mut a = BlockAllocator::new(4);
+        let got: Vec<_> = (0..4).map(|_| a.allocate().unwrap()).collect();
+        assert_eq!(got.len(), 4);
+        assert!(a.allocate().is_none());
+        assert_eq!(a.free_rate(), 0.0);
+    }
+
+    #[test]
+    fn release_returns_block_to_pool() {
+        let mut a = BlockAllocator::new(2);
+        let b = a.allocate().unwrap();
+        a.release(b);
+        assert_eq!(a.num_free(), 2);
+        assert_eq!(a.free_rate(), 1.0);
+    }
+
+    #[test]
+    fn allocate_many_is_atomic() {
+        let mut a = BlockAllocator::new(3);
+        let _held = a.allocate().unwrap();
+        assert!(a.allocate_many(3).is_none());
+        assert_eq!(a.num_free(), 2, "failed bulk allocation must not leak");
+        assert!(a.allocate_many(2).is_some());
+    }
+
+    #[test]
+    fn shared_block_survives_first_release() {
+        let mut a = BlockAllocator::new(1);
+        let b = a.allocate().unwrap();
+        a.retain(b);
+        assert_eq!(a.ref_count(b), 2);
+        assert!(!a.is_exclusive(b));
+        a.release(b);
+        assert_eq!(a.num_free(), 0);
+        a.release(b);
+        assert_eq!(a.num_free(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = BlockAllocator::new(1);
+        let b = a.allocate().unwrap();
+        a.release(b);
+        a.release(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "retain of a free block")]
+    fn retain_of_free_block_panics() {
+        let mut a = BlockAllocator::new(1);
+        a.retain(BlockId(0));
+    }
+
+    proptest! {
+        /// Any interleaving of allocations and releases conserves blocks:
+        /// free + used == total, and re-allocating freed blocks always
+        /// succeeds.
+        #[test]
+        fn conservation_under_random_ops(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let mut a = BlockAllocator::new(16);
+            let mut held: Vec<BlockId> = Vec::new();
+            for op in ops {
+                match op {
+                    0 => {
+                        if let Some(b) = a.allocate() {
+                            held.push(b);
+                        } else {
+                            prop_assert_eq!(a.num_free(), 0);
+                        }
+                    }
+                    1 => {
+                        if let Some(b) = held.pop() {
+                            a.release(b);
+                        }
+                    }
+                    _ => {
+                        if let Some(&b) = held.first() {
+                            a.retain(b);
+                            held.push(b);
+                        }
+                    }
+                }
+                prop_assert_eq!(a.num_free() + a.num_used(), a.num_total());
+                prop_assert!((0.0..=1.0).contains(&a.free_rate()));
+            }
+            for b in held {
+                a.release(b);
+            }
+            prop_assert_eq!(a.num_free(), 16);
+        }
+    }
+}

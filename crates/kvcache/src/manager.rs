@@ -1,0 +1,380 @@
+//! Driver-side KV cache manager.
+//!
+//! In the paper's runtime the driver worker owns KV cache management and all
+//! workers share its page tables (§3.3, Fig. 6 caption: "the KV cache usage
+//! is consistent across all GPUs since they share unified page tables").
+//! [`KvCacheManager`] is that component: it allocates blocks for prefill
+//! chunks, extends sequences during decode, evicts sequences under pressure
+//! (preemption with recomputation, §3.1.3), and exposes the `KV_free` signal
+//! Token Throttling's UT rule consumes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::allocator::{BlockAllocator, BlockId};
+use crate::page_table::PageTable;
+
+/// Opaque sequence identifier (matches the request id in `gllm-core`).
+pub type SeqId = u64;
+
+/// KV cache operation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Not enough free blocks to satisfy an allocation.
+    OutOfBlocks {
+        /// Blocks the operation needed.
+        requested: usize,
+        /// Blocks actually free.
+        available: usize,
+    },
+    /// The sequence id has no page table.
+    UnknownSequence(SeqId),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::OutOfBlocks { requested, available } => {
+                write!(f, "out of KV blocks: need {requested}, have {available}")
+            }
+            KvError::UnknownSequence(id) => write!(f, "unknown sequence {id}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Point-in-time snapshot of cache occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvStats {
+    /// Total physical blocks.
+    pub total_blocks: usize,
+    /// Free physical blocks.
+    pub free_blocks: usize,
+    /// Blocks with at least one owner.
+    pub used_blocks: usize,
+    /// Sequences with live page tables.
+    pub num_sequences: usize,
+    /// Cumulative evictions since construction.
+    pub preemptions: u64,
+}
+
+/// The unified KV cache manager shared by every pipeline stage.
+#[derive(Debug, Clone)]
+pub struct KvCacheManager {
+    block_size: usize,
+    allocator: BlockAllocator,
+    tables: HashMap<SeqId, PageTable>,
+    preemptions: u64,
+}
+
+impl KvCacheManager {
+    /// A manager over `num_blocks` blocks of `block_size` tokens each.
+    pub fn new(num_blocks: usize, block_size: usize) -> Self {
+        assert!(block_size > 0);
+        Self {
+            block_size,
+            allocator: BlockAllocator::new(num_blocks),
+            tables: HashMap::new(),
+            preemptions: 0,
+        }
+    }
+
+    /// A manager sized from a cluster's token capacity (as computed by
+    /// `gllm_model::ClusterSpec`), rounding down to whole blocks.
+    pub fn from_token_capacity(capacity_tokens: usize, block_size: usize) -> Self {
+        let blocks = (capacity_tokens / block_size).max(1);
+        Self::new(blocks, block_size)
+    }
+
+    /// Tokens per block.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Maximum tokens the cache can hold.
+    pub fn token_capacity(&self) -> usize {
+        self.allocator.num_total() * self.block_size
+    }
+
+    /// The paper's `KV_free ∈ [0, 1]`: fraction of blocks free.
+    #[inline]
+    pub fn free_rate(&self) -> f64 {
+        self.allocator.free_rate()
+    }
+
+    /// Fraction of blocks in use (`1 − KV_free`).
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free_rate()
+    }
+
+    /// Free blocks right now.
+    pub fn free_blocks(&self) -> usize {
+        self.allocator.num_free()
+    }
+
+    /// Whether `seq` has a live page table.
+    pub fn contains(&self, seq: SeqId) -> bool {
+        self.tables.contains_key(&seq)
+    }
+
+    /// Tokens cached for `seq` (0 when unknown).
+    pub fn context_len(&self, seq: SeqId) -> usize {
+        self.tables.get(&seq).map_or(0, |t| t.num_tokens())
+    }
+
+    /// Borrow a sequence's page table (for slot lookup by the transformer).
+    pub fn table(&self, seq: SeqId) -> Option<&PageTable> {
+        self.tables.get(&seq)
+    }
+
+    /// Blocks that appending `tokens` to `seq` would allocate.
+    pub fn blocks_needed(&self, seq: SeqId, tokens: usize) -> usize {
+        match self.tables.get(&seq) {
+            Some(t) => t.blocks_needed_for(tokens),
+            None => tokens.div_ceil(self.block_size),
+        }
+    }
+
+    /// Whether appending `tokens` to `seq` would succeed right now.
+    pub fn can_append(&self, seq: SeqId, tokens: usize) -> bool {
+        self.blocks_needed(seq, tokens) <= self.allocator.num_free()
+    }
+
+    /// Maximum tokens appendable to `seq` right now: the slack in its last
+    /// block plus every free block (the engine uses this to trim prefill
+    /// chunks under KV pressure).
+    pub fn max_appendable(&self, seq: SeqId) -> usize {
+        let slack = self.tables.get(&seq).map_or(0, |t| t.slack());
+        slack + self.allocator.num_free() * self.block_size
+    }
+
+    /// Append `tokens` slots to `seq`, allocating blocks as needed and
+    /// creating the page table on first use. Atomic: on failure nothing is
+    /// allocated.
+    pub fn append(&mut self, seq: SeqId, tokens: usize) -> Result<(), KvError> {
+        let needed = self.blocks_needed(seq, tokens);
+        if needed > self.allocator.num_free() {
+            return Err(KvError::OutOfBlocks {
+                requested: needed,
+                available: self.allocator.num_free(),
+            });
+        }
+        let new_blocks = self
+            .allocator
+            .allocate_many(needed)
+            .expect("free-count checked above");
+        let table = self
+            .tables
+            .entry(seq)
+            .or_insert_with(|| PageTable::new(self.block_size));
+        table.push_blocks(new_blocks);
+        table.fill(tokens);
+        Ok(())
+    }
+
+    /// Release every block owned by `seq` (normal completion).
+    pub fn free(&mut self, seq: SeqId) -> Result<(), KvError> {
+        let mut table = self.tables.remove(&seq).ok_or(KvError::UnknownSequence(seq))?;
+        for b in table.take_blocks() {
+            self.allocator.release(b);
+        }
+        Ok(())
+    }
+
+    /// Evict `seq` under memory pressure, returning the number of cached
+    /// tokens that must be recomputed when the sequence is rescheduled
+    /// (the paper's "premature preemption … causes costly recomputation
+    /// time", §3.1.3).
+    pub fn evict(&mut self, seq: SeqId) -> Result<usize, KvError> {
+        let lost = self.context_len(seq);
+        self.free(seq)?;
+        self.preemptions += 1;
+        Ok(lost)
+    }
+
+    /// Share the whole-block prefix of `parent` with `child` (prefix
+    /// caching): every *full* block of the parent is retained and appended
+    /// to the child's table. Returns the number of tokens shared.
+    ///
+    /// The child must not already exist.
+    pub fn fork_prefix(&mut self, parent: SeqId, child: SeqId) -> Result<usize, KvError> {
+        assert!(!self.tables.contains_key(&child), "child {child} already exists");
+        let parent_table = self
+            .tables
+            .get(&parent)
+            .ok_or(KvError::UnknownSequence(parent))?;
+        let full_blocks = parent_table.num_tokens() / self.block_size;
+        let shared: Vec<BlockId> = parent_table.blocks()[..full_blocks].to_vec();
+        for &b in &shared {
+            self.allocator.retain(b);
+        }
+        let mut table = PageTable::new(self.block_size);
+        let tokens = full_blocks * self.block_size;
+        table.push_blocks(shared);
+        table.fill(tokens);
+        self.tables.insert(child, table);
+        Ok(tokens)
+    }
+
+    /// Whether the last block of `seq` is exclusively owned (safe to append
+    /// into without copy-on-write).
+    pub fn last_block_exclusive(&self, seq: SeqId) -> bool {
+        self.tables
+            .get(&seq)
+            .and_then(|t| t.blocks().last())
+            .is_none_or(|&b| self.allocator.is_exclusive(b))
+    }
+
+    /// Cumulative evictions.
+    pub fn preemption_count(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Occupancy snapshot.
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            total_blocks: self.allocator.num_total(),
+            free_blocks: self.allocator.num_free(),
+            used_blocks: self.allocator.num_used(),
+            num_sequences: self.tables.len(),
+            preemptions: self.preemptions,
+        }
+    }
+
+    /// Ids of all live sequences, sorted (deterministic iteration for the
+    /// simulator's eviction policy).
+    pub fn live_sequences(&self) -> Vec<SeqId> {
+        let mut v: Vec<SeqId> = self.tables.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn append_allocates_only_needed_blocks() {
+        let mut m = KvCacheManager::new(10, 16);
+        m.append(1, 17).unwrap();
+        assert_eq!(m.free_blocks(), 8);
+        // 15 more tokens fit in the second block's slack.
+        m.append(1, 15).unwrap();
+        assert_eq!(m.free_blocks(), 8);
+        m.append(1, 1).unwrap();
+        assert_eq!(m.free_blocks(), 7);
+        assert_eq!(m.context_len(1), 33);
+    }
+
+    #[test]
+    fn failed_append_is_atomic() {
+        let mut m = KvCacheManager::new(2, 16);
+        m.append(1, 16).unwrap();
+        let err = m.append(2, 33).unwrap_err();
+        assert_eq!(err, KvError::OutOfBlocks { requested: 3, available: 1 });
+        assert_eq!(m.free_blocks(), 1);
+        assert!(!m.contains(2));
+    }
+
+    #[test]
+    fn free_returns_all_blocks() {
+        let mut m = KvCacheManager::new(4, 4);
+        m.append(7, 13).unwrap();
+        assert_eq!(m.free_blocks(), 0);
+        m.free(7).unwrap();
+        assert_eq!(m.free_blocks(), 4);
+        assert_eq!(m.free_rate(), 1.0);
+        assert!(matches!(m.free(7), Err(KvError::UnknownSequence(7))));
+    }
+
+    #[test]
+    fn evict_counts_preemptions_and_reports_lost_tokens() {
+        let mut m = KvCacheManager::new(4, 4);
+        m.append(1, 10).unwrap();
+        assert_eq!(m.evict(1).unwrap(), 10);
+        assert_eq!(m.preemption_count(), 1);
+        assert_eq!(m.free_blocks(), 4);
+    }
+
+    #[test]
+    fn can_append_predicts_append() {
+        let mut m = KvCacheManager::new(2, 8);
+        assert!(m.can_append(1, 16));
+        assert!(!m.can_append(1, 17));
+        m.append(1, 16).unwrap();
+        assert!(m.can_append(1, 0));
+        assert!(!m.can_append(1, 1));
+    }
+
+    #[test]
+    fn fork_shares_full_blocks_only() {
+        let mut m = KvCacheManager::new(8, 4);
+        m.append(1, 10).unwrap(); // 3 blocks, last partially filled
+        let shared = m.fork_prefix(1, 2).unwrap();
+        assert_eq!(shared, 8);
+        assert_eq!(m.context_len(2), 8);
+        // Only 3 blocks total allocated; 2 shared + 1 exclusive to parent.
+        assert_eq!(m.stats().used_blocks, 3);
+        assert!(!m.last_block_exclusive(2));
+        // Freeing the parent keeps the shared blocks alive.
+        m.free(1).unwrap();
+        assert_eq!(m.stats().used_blocks, 2);
+        assert_eq!(m.context_len(2), 8);
+        m.free(2).unwrap();
+        assert_eq!(m.free_blocks(), 8);
+    }
+
+    #[test]
+    fn token_capacity_and_sizing_helpers() {
+        let m = KvCacheManager::from_token_capacity(1000, 16);
+        assert_eq!(m.token_capacity(), 62 * 16);
+        assert_eq!(m.block_size(), 16);
+    }
+
+    #[test]
+    fn live_sequences_sorted() {
+        let mut m = KvCacheManager::new(8, 4);
+        m.append(5, 1).unwrap();
+        m.append(2, 1).unwrap();
+        m.append(9, 1).unwrap();
+        assert_eq!(m.live_sequences(), vec![2, 5, 9]);
+    }
+
+    proptest! {
+        /// Random append/free workloads never leak or double-count blocks,
+        /// and `can_append` never lies.
+        #[test]
+        fn no_leaks_under_random_workload(
+            ops in proptest::collection::vec((0u8..3, 0u64..6, 1usize..40), 1..300)
+        ) {
+            let mut m = KvCacheManager::new(32, 8);
+            for (op, seq, tokens) in ops {
+                match op {
+                    0 => {
+                        let fits = m.can_append(seq, tokens);
+                        let res = m.append(seq, tokens);
+                        prop_assert_eq!(fits, res.is_ok());
+                    }
+                    1 => { let _ = m.free(seq); }
+                    _ => { let _ = m.evict(seq); }
+                }
+                let s = m.stats();
+                prop_assert_eq!(s.free_blocks + s.used_blocks, s.total_blocks);
+                let live_tokens: usize =
+                    m.live_sequences().iter().map(|&s| m.context_len(s)).sum();
+                // Every live token occupies a slot in some used block.
+                prop_assert!(live_tokens <= s.used_blocks * m.block_size());
+            }
+            for seq in m.live_sequences() {
+                m.free(seq).unwrap();
+            }
+            prop_assert_eq!(m.free_rate(), 1.0);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-sequence logical→physical block mapping.
+//!
+//! A [`PageTable`] records which physical blocks back a sequence's KV cache
+//! and how many token slots are filled. It is pure bookkeeping — allocation
+//! and freeing go through the [`crate::manager::KvCacheManager`] so that
+//! reference counts stay consistent.
+
+use serde::{Deserialize, Serialize};
+
+use crate::allocator::BlockId;
+
+/// One sequence's page table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageTable {
+    /// Physical blocks in logical order.
+    blocks: Vec<BlockId>,
+    /// Number of token slots currently filled.
+    num_tokens: usize,
+    /// Tokens per block (fixed for the lifetime of the table).
+    block_size: usize,
+}
+
+impl PageTable {
+    /// An empty table with the given block size.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0);
+        Self {
+            blocks: Vec::new(),
+            num_tokens: 0,
+            block_size,
+        }
+    }
+
+    /// Tokens per block.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Token slots currently filled.
+    #[inline]
+    pub fn num_tokens(&self) -> usize {
+        self.num_tokens
+    }
+
+    /// Physical blocks backing this sequence, in logical order.
+    #[inline]
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Free slots remaining in the last block.
+    pub fn slack(&self) -> usize {
+        self.blocks.len() * self.block_size - self.num_tokens
+    }
+
+    /// Blocks that must be appended before `extra` more tokens fit.
+    pub fn blocks_needed_for(&self, extra: usize) -> usize {
+        let total = self.num_tokens + extra;
+        total.div_ceil(self.block_size).saturating_sub(self.blocks.len())
+    }
+
+    /// Append physical blocks (handed out by the manager).
+    pub(crate) fn push_blocks(&mut self, new_blocks: impl IntoIterator<Item = BlockId>) {
+        self.blocks.extend(new_blocks);
+    }
+
+    /// Mark `n` more token slots as filled. Panics if capacity is exceeded —
+    /// the manager must have appended blocks first.
+    pub(crate) fn fill(&mut self, n: usize) {
+        let cap = self.blocks.len() * self.block_size;
+        assert!(
+            self.num_tokens + n <= cap,
+            "page table overflow: {} + {n} > {cap}",
+            self.num_tokens
+        );
+        self.num_tokens += n;
+    }
+
+    /// Drain all blocks (eviction); the table keeps its block size but
+    /// forgets its contents.
+    pub(crate) fn take_blocks(&mut self) -> Vec<BlockId> {
+        self.num_tokens = 0;
+        std::mem::take(&mut self.blocks)
+    }
+
+    /// Global slot index of logical token position `pos`, for indexing a
+    /// flat paged KV tensor: `block.index() × block_size + offset`.
+    pub fn slot_of(&self, pos: usize) -> usize {
+        assert!(pos < self.num_tokens, "position {pos} not filled");
+        let block = self.blocks[pos / self.block_size];
+        block.index() * self.block_size + pos % self.block_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(blocks: &[u32], block_size: usize) -> PageTable {
+        let mut t = PageTable::new(block_size);
+        t.push_blocks(blocks.iter().copied().map(BlockId));
+        t
+    }
+
+    #[test]
+    fn blocks_needed_rounds_up() {
+        let mut t = table_with(&[0], 16);
+        t.fill(10);
+        assert_eq!(t.blocks_needed_for(6), 0); // fits in slack
+        assert_eq!(t.blocks_needed_for(7), 1);
+        assert_eq!(t.blocks_needed_for(16 + 7), 2);
+    }
+
+    #[test]
+    fn slack_tracks_last_block_occupancy() {
+        let mut t = table_with(&[0, 1], 16);
+        t.fill(20);
+        assert_eq!(t.slack(), 12);
+        assert_eq!(t.num_tokens(), 20);
+    }
+
+    #[test]
+    fn slot_of_maps_through_noncontiguous_blocks() {
+        let mut t = table_with(&[7, 2], 4);
+        t.fill(6);
+        assert_eq!(t.slot_of(0), 7 * 4);
+        assert_eq!(t.slot_of(3), 7 * 4 + 3);
+        assert_eq!(t.slot_of(4), 2 * 4);
+        assert_eq!(t.slot_of(5), 2 * 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not filled")]
+    fn slot_of_unfilled_position_panics() {
+        let mut t = table_with(&[0], 4);
+        t.fill(2);
+        t.slot_of(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn fill_beyond_capacity_panics() {
+        let mut t = table_with(&[0], 4);
+        t.fill(5);
+    }
+
+    #[test]
+    fn take_blocks_resets_table() {
+        let mut t = table_with(&[3, 4], 4);
+        t.fill(5);
+        let drained = t.take_blocks();
+        assert_eq!(drained, vec![BlockId(3), BlockId(4)]);
+        assert_eq!(t.num_tokens(), 0);
+        assert!(t.blocks().is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Serving metrics.
+//!
+//! Implements exactly the paper's §4.1 metric set:
+//!
+//! * **TTFT** — time from request arrival to its first output token,
+//! * **TPOT** — average time per output token after the first,
+//! * **E2EL** — end-to-end latency from arrival to completion,
+//! * **Throughput** — input + output tokens processed per second,
+//! * **SLO attainment** — fraction of finished requests meeting joint
+//!   TTFT/TPOT constraints (the artifact's `--goodput ttft:… tpot:…`).
+//!
+//! [`recorder::MetricsRecorder`] collects per-request timelines from either
+//! execution plane (virtual simulator time or wall-clock runtime time);
+//! [`report::ServingReport`] reduces them to the numbers the paper plots;
+//! [`series`] holds the time-series probes behind Figures 1 and 4 (batched
+//! token counts per iteration, GPU busy intervals → utilisation curves).
+
+pub mod recorder;
+pub mod report;
+pub mod series;
+
+pub use recorder::{MetricsRecorder, RequestTimeline};
+pub use report::{ServingReport, SloSpec};
+pub use series::{BusyTracker, TokenTrace, TokenTracePoint};

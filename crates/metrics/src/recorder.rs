@@ -1,0 +1,193 @@
+//! Per-request timeline collection.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle timestamps of one request (seconds, in the caller's clock —
+/// virtual for the simulator, wall for the runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestTimeline {
+    /// Arrival time.
+    pub arrival_s: f64,
+    /// Time the first output token was produced, if any.
+    pub first_token_s: Option<f64>,
+    /// Completion time, if finished.
+    pub finish_s: Option<f64>,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Output tokens produced so far.
+    pub output_tokens: usize,
+    /// Times this request was preempted (evicted and recomputed).
+    pub preemptions: u32,
+}
+
+impl RequestTimeline {
+    /// Time to first token, if the first token exists.
+    pub fn ttft(&self) -> Option<f64> {
+        self.first_token_s.map(|t| t - self.arrival_s)
+    }
+
+    /// Mean time per output token after the first; `None` until the request
+    /// finishes or when it produced fewer than two tokens.
+    pub fn tpot(&self) -> Option<f64> {
+        match (self.first_token_s, self.finish_s) {
+            (Some(first), Some(finish)) if self.output_tokens >= 2 => {
+                Some((finish - first) / (self.output_tokens - 1) as f64)
+            }
+            _ => None,
+        }
+    }
+
+    /// End-to-end latency; `None` until the request finishes.
+    pub fn e2el(&self) -> Option<f64> {
+        self.finish_s.map(|t| t - self.arrival_s)
+    }
+}
+
+/// Collects [`RequestTimeline`]s as the serving system reports events.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRecorder {
+    timelines: HashMap<u64, RequestTimeline>,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a request arrival. Must precede every other event for the id.
+    pub fn on_arrival(&mut self, id: u64, t: f64, prompt_len: usize) {
+        let prev = self.timelines.insert(
+            id,
+            RequestTimeline {
+                arrival_s: t,
+                first_token_s: None,
+                finish_s: None,
+                prompt_len,
+                output_tokens: 0,
+                preemptions: 0,
+            },
+        );
+        assert!(prev.is_none(), "duplicate arrival for request {id}");
+    }
+
+    /// Record one output token at time `t` (the first call sets TTFT).
+    pub fn on_token(&mut self, id: u64, t: f64) {
+        let tl = self.timelines.get_mut(&id).expect("token before arrival");
+        if tl.first_token_s.is_none() {
+            tl.first_token_s = Some(t);
+        }
+        tl.output_tokens += 1;
+    }
+
+    /// Record request completion at time `t`.
+    pub fn on_finish(&mut self, id: u64, t: f64) {
+        let tl = self.timelines.get_mut(&id).expect("finish before arrival");
+        assert!(tl.finish_s.is_none(), "double finish for request {id}");
+        tl.finish_s = Some(t);
+    }
+
+    /// Record a preemption (KV eviction forcing recomputation).
+    pub fn on_preemption(&mut self, id: u64) {
+        let tl = self.timelines.get_mut(&id).expect("preemption before arrival");
+        tl.preemptions += 1;
+    }
+
+    /// Timeline of one request.
+    pub fn timeline(&self, id: u64) -> Option<&RequestTimeline> {
+        self.timelines.get(&id)
+    }
+
+    /// All timelines, sorted by request id (deterministic reduction order).
+    pub fn timelines(&self) -> Vec<(u64, RequestTimeline)> {
+        let mut v: Vec<_> = self.timelines.iter().map(|(&k, &tl)| (k, tl)).collect();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Number of requests that finished.
+    pub fn finished_count(&self) -> usize {
+        self.timelines.values().filter(|t| t.finish_s.is_some()).count()
+    }
+
+    /// Number of requests observed.
+    pub fn total_count(&self) -> usize {
+        self.timelines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorded() -> MetricsRecorder {
+        let mut r = MetricsRecorder::new();
+        r.on_arrival(1, 0.0, 100);
+        r.on_token(1, 0.5); // TTFT = 0.5
+        r.on_token(1, 0.7);
+        r.on_token(1, 0.9);
+        r.on_finish(1, 0.9); // 3 tokens, TPOT = 0.4/2 = 0.2
+        r
+    }
+
+    #[test]
+    fn ttft_tpot_e2el_computed_correctly() {
+        let r = recorded();
+        let tl = r.timeline(1).unwrap();
+        assert_eq!(tl.ttft(), Some(0.5));
+        assert!((tl.tpot().unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(tl.e2el(), Some(0.9));
+        assert_eq!(tl.output_tokens, 3);
+    }
+
+    #[test]
+    fn unfinished_request_has_no_tpot_or_e2el() {
+        let mut r = MetricsRecorder::new();
+        r.on_arrival(2, 1.0, 10);
+        r.on_token(2, 1.5);
+        let tl = r.timeline(2).unwrap();
+        assert_eq!(tl.ttft(), Some(0.5));
+        assert_eq!(tl.tpot(), None);
+        assert_eq!(tl.e2el(), None);
+        assert_eq!(r.finished_count(), 0);
+        assert_eq!(r.total_count(), 1);
+    }
+
+    #[test]
+    fn single_token_request_has_no_tpot() {
+        let mut r = MetricsRecorder::new();
+        r.on_arrival(3, 0.0, 10);
+        r.on_token(3, 0.2);
+        r.on_finish(3, 0.2);
+        assert_eq!(r.timeline(3).unwrap().tpot(), None);
+        assert_eq!(r.timeline(3).unwrap().e2el(), Some(0.2));
+    }
+
+    #[test]
+    fn preemptions_are_counted() {
+        let mut r = MetricsRecorder::new();
+        r.on_arrival(4, 0.0, 10);
+        r.on_preemption(4);
+        r.on_preemption(4);
+        assert_eq!(r.timeline(4).unwrap().preemptions, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate arrival")]
+    fn duplicate_arrival_panics() {
+        let mut r = MetricsRecorder::new();
+        r.on_arrival(1, 0.0, 1);
+        r.on_arrival(1, 0.0, 1);
+    }
+
+    #[test]
+    fn timelines_sorted_by_id() {
+        let mut r = MetricsRecorder::new();
+        r.on_arrival(9, 0.0, 1);
+        r.on_arrival(2, 0.0, 1);
+        let ids: Vec<u64> = r.timelines().iter().map(|(k, _)| *k).collect();
+        assert_eq!(ids, vec![2, 9]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Time-series probes behind the paper's Figures 1 and 4.
+//!
+//! [`TokenTrace`] records the prefill/decode token composition of every
+//! scheduled micro-batch (Fig. 1's "scheduled token counts" and Fig. 4b's
+//! "batched token count"); [`BusyTracker`] records per-GPU busy intervals
+//! and reduces them to windowed utilisation (Fig. 4a's "GPU utilisation").
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled micro-batch's token composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenTracePoint {
+    /// Iteration index (chronological schedule order).
+    pub iteration: usize,
+    /// Prefill tokens batched.
+    pub prefill: usize,
+    /// Decode tokens batched.
+    pub decode: usize,
+}
+
+impl TokenTracePoint {
+    /// Total batched tokens.
+    pub fn total(&self) -> usize {
+        self.prefill + self.decode
+    }
+}
+
+/// Chronological record of every scheduled micro-batch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TokenTrace {
+    points: Vec<TokenTracePoint>,
+}
+
+impl TokenTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the next scheduled batch.
+    pub fn record(&mut self, prefill: usize, decode: usize) {
+        let iteration = self.points.len();
+        self.points.push(TokenTracePoint { iteration, prefill, decode });
+    }
+
+    /// All points in schedule order.
+    pub fn points(&self) -> &[TokenTracePoint] {
+        &self.points
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Coefficient of variation (σ/μ) of total batched tokens — the paper's
+    /// Fig. 1 argument is that Sarathi-Serve's trace has much higher
+    /// volatility than a balanced system's, and this is the scalar that
+    /// quantifies it.
+    pub fn total_tokens_cv(&self) -> f64 {
+        let totals: Vec<f64> = self.points.iter().map(|p| p.total() as f64).collect();
+        if totals.is_empty() {
+            return 0.0;
+        }
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = totals.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / totals.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Mean total batched tokens per iteration.
+    pub fn mean_total(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.total() as f64).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Records busy intervals per GPU and reduces them to utilisation.
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    /// `(gpu, start_s, end_s)` busy intervals (not necessarily sorted).
+    intervals: Vec<(usize, f64, f64)>,
+    num_gpus: usize,
+}
+
+impl BusyTracker {
+    /// A tracker over `num_gpus` devices.
+    pub fn new(num_gpus: usize) -> Self {
+        Self { intervals: Vec::new(), num_gpus }
+    }
+
+    /// Record that `gpu` was busy on `[start_s, end_s)`.
+    pub fn record(&mut self, gpu: usize, start_s: f64, end_s: f64) {
+        assert!(gpu < self.num_gpus, "gpu {gpu} out of range");
+        assert!(end_s >= start_s, "negative busy interval");
+        self.intervals.push((gpu, start_s, end_s));
+    }
+
+    /// Mean utilisation of all GPUs over `[0, horizon_s)`.
+    pub fn mean_utilization(&self, horizon_s: f64) -> f64 {
+        if horizon_s <= 0.0 || self.num_gpus == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .intervals
+            .iter()
+            .map(|&(_, s, e)| (e.min(horizon_s) - s.min(horizon_s)).max(0.0))
+            .sum();
+        busy / (horizon_s * self.num_gpus as f64)
+    }
+
+    /// Utilisation averaged over all GPUs in consecutive windows of
+    /// `window_s` covering `[0, horizon_s)`. Returns `(window_start, util)`
+    /// pairs — the series Fig. 4a plots.
+    pub fn utilization_series(&self, horizon_s: f64, window_s: f64) -> Vec<(f64, f64)> {
+        assert!(window_s > 0.0);
+        let n = (horizon_s / window_s).ceil() as usize;
+        let mut busy = vec![0.0f64; n];
+        for &(_, s, e) in &self.intervals {
+            let first = (s / window_s) as usize;
+            let last = ((e / window_s) as usize).min(n.saturating_sub(1));
+            for (w, b) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let ws = w as f64 * window_s;
+                let we = ws + window_s;
+                *b += (e.min(we) - s.max(ws)).max(0.0);
+            }
+        }
+        busy.iter()
+            .enumerate()
+            .map(|(w, b)| (w as f64 * window_s, b / (window_s * self.num_gpus as f64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_trace_records_in_order() {
+        let mut t = TokenTrace::new();
+        t.record(100, 20);
+        t.record(0, 64);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.points()[0].iteration, 0);
+        assert_eq!(t.points()[0].total(), 120);
+        assert_eq!(t.points()[1].total(), 64);
+    }
+
+    #[test]
+    fn constant_trace_has_zero_cv() {
+        let mut t = TokenTrace::new();
+        for _ in 0..10 {
+            t.record(50, 50);
+        }
+        assert_eq!(t.total_tokens_cv(), 0.0);
+        assert_eq!(t.mean_total(), 100.0);
+    }
+
+    #[test]
+    fn volatile_trace_has_higher_cv_than_smooth() {
+        let mut volatile = TokenTrace::new();
+        let mut smooth = TokenTrace::new();
+        for i in 0..20 {
+            volatile.record(if i % 2 == 0 { 2048 } else { 0 }, 10);
+            smooth.record(1024, 10);
+        }
+        assert!(volatile.total_tokens_cv() > smooth.total_tokens_cv() + 0.5);
+    }
+
+    #[test]
+    fn empty_trace_is_degenerate() {
+        let t = TokenTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.total_tokens_cv(), 0.0);
+        assert_eq!(t.mean_total(), 0.0);
+    }
+
+    #[test]
+    fn mean_utilization_counts_busy_time() {
+        let mut b = BusyTracker::new(2);
+        b.record(0, 0.0, 1.0); // GPU 0 busy the whole second
+        b.record(1, 0.0, 0.5); // GPU 1 half
+        assert!((b.mean_utilization(1.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_series_windows_correctly() {
+        let mut b = BusyTracker::new(1);
+        b.record(0, 0.0, 1.0);
+        b.record(0, 1.5, 2.0);
+        let s = b.utilization_series(2.0, 1.0);
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - 1.0).abs() < 1e-12);
+        assert!((s[1].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clamps_beyond_horizon() {
+        let mut b = BusyTracker::new(1);
+        b.record(0, 0.0, 10.0);
+        assert!((b.mean_utilization(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn recording_unknown_gpu_panics() {
+        let mut b = BusyTracker::new(1);
+        b.record(1, 0.0, 1.0);
+    }
+}

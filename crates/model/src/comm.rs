@@ -1,0 +1,148 @@
+//! α–β communication model.
+//!
+//! The paper's two interconnect regimes are reproduced with their measured
+//! numbers (§4.1): PCIe point-to-point at 20.79 GB/s intra-node, and a
+//! simulated cross-node network (NCCL with P2P and SHM disabled) at
+//! 73.28 Gbps ≈ 9.16 GB/s. Transfer time of a message follows the standard
+//! α–β model: `latency + bytes / bandwidth`.
+
+use serde::{Deserialize, Serialize};
+
+/// One interconnect link: fixed per-message latency plus stream bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Link name (e.g. `"PCIe"`).
+    pub name: String,
+    /// Per-message latency in seconds (software + wire setup).
+    pub latency_s: f64,
+    /// Sustained point-to-point bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Fraction of the p2p bandwidth a ring collective achieves (NCCL's
+    /// algorithm bandwidth through a PCIe root complex or a socket stack is
+    /// well below the p2p number). Applies to all-reduce only.
+    pub collective_efficiency: f64,
+}
+
+impl LinkSpec {
+    /// Time to move `bytes` point-to-point across this link.
+    #[inline]
+    pub fn p2p_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Time of a ring all-reduce of `bytes` over `n` ranks on this link.
+    ///
+    /// Standard ring cost: `2·(n−1)/n · bytes / bw` plus `2·(n−1)` latency
+    /// hops. With `n == 1` the operation is free.
+    pub fn allreduce_time(&self, bytes: u64, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let n_f = n as f64;
+        let steps = 2.0 * (n_f - 1.0);
+        steps * self.latency_s
+            + (steps / n_f) * bytes as f64
+                / (self.bandwidth_bytes_per_s * self.collective_efficiency)
+    }
+
+    /// Time to broadcast `bytes` from one rank to `n − 1` peers
+    /// (pipelined tree; approximated as a single serialised send per peer on
+    /// PCIe-class links, which is what the paper's metadata broadcast does).
+    pub fn broadcast_time(&self, bytes: u64, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        self.latency_s + (n - 1) as f64 * bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Intra-node PCIe, at the paper's measured 20.79 GB/s. The
+    /// per-message latency reflects NCCL collectives over PCIe *without*
+    /// NVLink: ~25 µs of launch + DMA setup per step.
+    pub fn pcie() -> Self {
+        Self {
+            name: "PCIe".into(),
+            latency_s: 25e-6,
+            bandwidth_bytes_per_s: 20.79e9,
+            collective_efficiency: 0.6,
+        }
+    }
+
+    /// The paper's simulated cross-node network: NCCL with
+    /// `NCCL_P2P_DISABLE=1` and `NCCL_SHM_DISABLE=1`, measured at
+    /// 73.28 Gbps. Forcing all traffic through the network stack makes
+    /// each collective step pay full socket-path latency (~250 µs), which
+    /// is what buries per-layer all-reduce parallelism cross-node.
+    pub fn sim_network() -> Self {
+        Self {
+            name: "SimNet-73Gbps".into(),
+            latency_s: 250e-6,
+            bandwidth_bytes_per_s: 73.28e9 / 8.0,
+            collective_efficiency: 0.7,
+        }
+    }
+
+    /// A loopback link for single-GPU deployments: zero cost.
+    pub fn loopback() -> Self {
+        Self {
+            name: "loopback".into(),
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+            collective_efficiency: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_time_is_affine_in_bytes() {
+        let l = LinkSpec::pcie();
+        let t1 = l.p2p_time(1_000_000);
+        let t2 = l.p2p_time(2_000_000);
+        assert!((t2 - t1 - 1_000_000.0 / l.bandwidth_bytes_per_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_is_slower_than_pcie() {
+        let bytes = 10 * 1024 * 1024;
+        assert!(LinkSpec::sim_network().p2p_time(bytes) > LinkSpec::pcie().p2p_time(bytes));
+    }
+
+    #[test]
+    fn allreduce_is_free_for_single_rank() {
+        assert_eq!(LinkSpec::pcie().allreduce_time(1 << 20, 1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_cost_grows_with_ranks() {
+        let l = LinkSpec::pcie();
+        assert!(l.allreduce_time(1 << 24, 4) > l.allreduce_time(1 << 24, 2));
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_approaches_2x_bytes() {
+        // For large n the ring moves ~2× the payload through each link.
+        let l = LinkSpec {
+            name: "t".into(),
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1e9,
+            collective_efficiency: 1.0,
+        };
+        let t = l.allreduce_time(1_000_000_000, 1000);
+        assert!((t - 2.0 * (999.0 / 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        assert_eq!(LinkSpec::loopback().p2p_time(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn broadcast_scales_with_peers() {
+        let l = LinkSpec::pcie();
+        assert!(l.broadcast_time(4096, 4) > l.broadcast_time(4096, 2));
+        assert_eq!(l.broadcast_time(4096, 1), 0.0);
+    }
+}

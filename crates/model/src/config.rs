@@ -1,0 +1,276 @@
+//! Transformer architecture descriptors.
+//!
+//! A [`ModelConfig`] captures exactly the shape information the analytic cost
+//! model needs: layer counts, hidden/intermediate dimensions, attention head
+//! geometry and vocabulary size. Presets mirror the three models the paper
+//! evaluates (Qwen2.5-14B, Qwen2.5-32B, and the Llama-3.1-405B variant
+//! down-scaled to ~100B parameters by reducing the layer count, exactly as
+//! the paper describes in §4.1 footnote 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Shape descriptor of a decoder-only transformer.
+///
+/// All derived quantities (parameter counts, FLOPs, KV bytes) are computed
+/// from these fields; nothing is hard-coded per model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable model name (e.g. `"Qwen2.5-32B"`).
+    pub name: String,
+    /// Number of decoder layers.
+    pub num_layers: usize,
+    /// Hidden (embedding) dimension.
+    pub hidden_size: usize,
+    /// Number of query attention heads.
+    pub num_heads: usize,
+    /// Number of key/value heads (grouped-query attention).
+    pub num_kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// MLP intermediate dimension (SwiGLU uses three `hidden × intermediate`
+    /// projections).
+    pub intermediate_size: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Bytes per parameter/activation element (2 for bf16, the paper's
+    /// uniform dtype).
+    pub dtype_bytes: usize,
+    /// Whether the input embedding and LM head share weights.
+    pub tie_embeddings: bool,
+}
+
+impl ModelConfig {
+    /// Dimension of the concatenated KV heads (`num_kv_heads × head_dim`).
+    #[inline]
+    pub fn kv_dim(&self) -> usize {
+        self.num_kv_heads * self.head_dim
+    }
+
+    /// Dimension of the concatenated query heads (`num_heads × head_dim`).
+    #[inline]
+    pub fn q_dim(&self) -> usize {
+        self.num_heads * self.head_dim
+    }
+
+    /// Parameters in one decoder layer (attention + SwiGLU MLP projections;
+    /// norm vectors are negligible and included for completeness).
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden_size as u64;
+        let q = self.q_dim() as u64;
+        let kv = self.kv_dim() as u64;
+        let i = self.intermediate_size as u64;
+        // Q, K, V, O projections.
+        let attn = h * q + 2 * h * kv + q * h;
+        // SwiGLU: gate, up, down.
+        let mlp = 3 * h * i;
+        // Two RMSNorm weight vectors.
+        let norms = 2 * h;
+        attn + mlp + norms
+    }
+
+    /// Parameters in the embedding table (and the LM head when untied).
+    pub fn embedding_params(&self) -> u64 {
+        let e = (self.vocab_size as u64) * (self.hidden_size as u64);
+        if self.tie_embeddings {
+            e
+        } else {
+            2 * e
+        }
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.params_per_layer() * self.num_layers as u64 + self.embedding_params()
+    }
+
+    /// Bytes of weights for `layers` decoder layers (no embeddings).
+    pub fn layer_weight_bytes(&self, layers: usize) -> u64 {
+        self.params_per_layer() * layers as u64 * self.dtype_bytes as u64
+    }
+
+    /// Bytes of KV cache one token occupies in one decoder layer
+    /// (keys + values).
+    pub fn kv_bytes_per_token_per_layer(&self) -> u64 {
+        2 * self.kv_dim() as u64 * self.dtype_bytes as u64
+    }
+
+    /// Bytes of KV cache one token occupies across the whole model.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.kv_bytes_per_token_per_layer() * self.num_layers as u64
+    }
+
+    /// Dense (linear-projection) FLOPs to process one token through one
+    /// decoder layer: 2 FLOPs per parameter per token.
+    pub fn linear_flops_per_token_per_layer(&self) -> u64 {
+        2 * self.params_per_layer()
+    }
+
+    /// Attention-score FLOPs for one token attending over a context of
+    /// `context_len` tokens in one layer (QKᵀ plus attention×V, over all
+    /// query heads).
+    pub fn attn_flops_per_token_per_layer(&self, context_len: usize) -> u64 {
+        4 * (context_len as u64) * (self.q_dim() as u64)
+    }
+
+    /// FLOPs of the LM-head projection for one token.
+    pub fn lm_head_flops_per_token(&self) -> u64 {
+        2 * (self.vocab_size as u64) * (self.hidden_size as u64)
+    }
+
+    /// Qwen2.5-14B (48 layers, GQA 40/8). ~14.7 B parameters.
+    pub fn qwen2_5_14b() -> Self {
+        Self {
+            name: "Qwen2.5-14B".into(),
+            num_layers: 48,
+            hidden_size: 5120,
+            num_heads: 40,
+            num_kv_heads: 8,
+            head_dim: 128,
+            intermediate_size: 13824,
+            vocab_size: 152_064,
+            dtype_bytes: 2,
+            tie_embeddings: false,
+        }
+    }
+
+    /// Qwen2.5-32B (64 layers, GQA 40/8). ~32.8 B parameters.
+    pub fn qwen2_5_32b() -> Self {
+        Self {
+            name: "Qwen2.5-32B".into(),
+            num_layers: 64,
+            hidden_size: 5120,
+            num_heads: 40,
+            num_kv_heads: 8,
+            head_dim: 128,
+            intermediate_size: 27648,
+            vocab_size: 152_064,
+            dtype_bytes: 2,
+            tie_embeddings: false,
+        }
+    }
+
+    /// Llama-3.1-405B down-scaled to ~100 B parameters by cutting the layer
+    /// count from 126 to 32 while keeping every per-layer dimension, matching
+    /// the paper's §4.1 footnote 3 ("downscaled from Llama3.1-405B to fit in
+    /// GPU memory").
+    pub fn llama3_1_100b() -> Self {
+        Self {
+            name: "Llama-3.1-100B".into(),
+            num_layers: 32,
+            hidden_size: 16384,
+            num_heads: 128,
+            num_kv_heads: 8,
+            head_dim: 128,
+            intermediate_size: 53248,
+            vocab_size: 128_256,
+            dtype_bytes: 2,
+            tie_embeddings: false,
+        }
+    }
+
+    /// A miniature configuration for tests and the executable CPU
+    /// transformer: small enough to run forward passes in microseconds while
+    /// exercising GQA (heads ≠ kv_heads) and untied embeddings.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny".into(),
+            num_layers: 4,
+            hidden_size: 64,
+            num_heads: 8,
+            num_kv_heads: 4,
+            head_dim: 8,
+            intermediate_size: 128,
+            vocab_size: 256,
+            dtype_bytes: 4,
+            tie_embeddings: false,
+        }
+    }
+
+    /// Look a preset up by a case-insensitive short name.
+    ///
+    /// Accepts `"14b"`, `"32b"`, `"100b"`, `"tiny"` and the full preset
+    /// names. Returns `None` for unknown names.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "14b" | "qwen2.5-14b" | "qwen14b" => Some(Self::qwen2_5_14b()),
+            "32b" | "qwen2.5-32b" | "qwen32b" => Some(Self::qwen2_5_32b()),
+            "100b" | "llama-3.1-100b" | "llama100b" => Some(Self::llama3_1_100b()),
+            "tiny" => Some(Self::tiny()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qwen14b_param_count_matches_published_size() {
+        let m = ModelConfig::qwen2_5_14b();
+        let b = m.total_params() as f64 / 1e9;
+        assert!((13.0..16.0).contains(&b), "got {b} B params");
+    }
+
+    #[test]
+    fn qwen32b_param_count_matches_published_size() {
+        let m = ModelConfig::qwen2_5_32b();
+        let b = m.total_params() as f64 / 1e9;
+        assert!((30.0..34.0).contains(&b), "got {b} B params");
+    }
+
+    #[test]
+    fn llama100b_param_count_close_to_100b() {
+        let m = ModelConfig::llama3_1_100b();
+        let b = m.total_params() as f64 / 1e9;
+        assert!((90.0..115.0).contains(&b), "got {b} B params");
+    }
+
+    #[test]
+    fn kv_bytes_match_manual_computation() {
+        let m = ModelConfig::qwen2_5_32b();
+        // 8 kv heads × 128 dim × 2 (K and V) × 2 bytes × 64 layers.
+        assert_eq!(m.kv_bytes_per_token(), 8 * 128 * 2 * 2 * 64);
+    }
+
+    #[test]
+    fn gqa_reduces_kv_footprint() {
+        let mut m = ModelConfig::qwen2_5_32b();
+        let gqa = m.kv_bytes_per_token();
+        m.num_kv_heads = m.num_heads;
+        assert!(m.kv_bytes_per_token() > gqa);
+    }
+
+    #[test]
+    fn attn_flops_scale_linearly_with_context() {
+        let m = ModelConfig::qwen2_5_14b();
+        assert_eq!(
+            m.attn_flops_per_token_per_layer(2000),
+            2 * m.attn_flops_per_token_per_layer(1000)
+        );
+    }
+
+    #[test]
+    fn tied_embeddings_halve_embedding_params() {
+        let mut m = ModelConfig::tiny();
+        m.tie_embeddings = false;
+        let untied = m.embedding_params();
+        m.tie_embeddings = true;
+        assert_eq!(m.embedding_params() * 2, untied);
+    }
+
+    #[test]
+    fn presets_resolve_by_short_name() {
+        assert_eq!(ModelConfig::preset("32B").unwrap().num_layers, 64);
+        assert_eq!(ModelConfig::preset("tiny").unwrap().hidden_size, 64);
+        assert!(ModelConfig::preset("7b").is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = ModelConfig::qwen2_5_14b();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: ModelConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

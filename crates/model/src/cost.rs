@@ -1,0 +1,458 @@
+//! Roofline batch-latency model.
+//!
+//! This is the substitute for real CUDA execution: given the composition of
+//! a micro-batch (prefill chunks + decode tokens, each with its KV context),
+//! it predicts the forward-pass time of one pipeline stage as
+//!
+//! ```text
+//! T = max(FLOPs / effective_flops, bytes / effective_bandwidth)
+//!     + layers × layer_overhead + base_overhead
+//! ```
+//!
+//! Prefill chunks are compute-bound (dense GEMMs over many tokens), decode
+//! batches are bandwidth-bound (weights and KV cache are re-read for a
+//! handful of tokens) — exactly the asymmetry the paper's Token Throttling
+//! exploits. The model includes the quadratic attention term by default
+//! because the *hardware* cost is quadratic in context; the paper notes
+//! (§6) that gLLM's scheduler nevertheless *assumes* linearity in token
+//! count, and the `include_attention_term` switch lets the ablation benches
+//! quantify that gap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::comm::LinkSpec;
+use crate::config::ModelConfig;
+use crate::gpu::GpuSpec;
+
+/// The slice of one sequence processed by one forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequenceChunk {
+    /// New tokens processed in this pass (1 for a decode step, the chunk
+    /// size for a chunked prefill).
+    pub tokens: usize,
+    /// Tokens already resident in the KV cache before this pass.
+    pub context_before: usize,
+}
+
+impl SequenceChunk {
+    /// A single decode step over `context_before` cached tokens.
+    pub fn decode(context_before: usize) -> Self {
+        Self { tokens: 1, context_before }
+    }
+
+    /// A prefill chunk of `tokens` appended after `context_before` cached
+    /// tokens.
+    pub fn prefill(tokens: usize, context_before: usize) -> Self {
+        Self { tokens, context_before }
+    }
+
+    /// KV context length after this pass completes.
+    #[inline]
+    pub fn context_after(&self) -> usize {
+        self.context_before + self.tokens
+    }
+}
+
+/// Composition of one micro-batch: which prefill chunks and decode steps are
+/// fused into a single forward pass (Sarathi-style hybrid batching).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchWorkload {
+    /// Chunked-prefill slices in this batch.
+    pub prefill: Vec<SequenceChunk>,
+    /// Decode steps in this batch (each contributes exactly one token).
+    pub decode: Vec<SequenceChunk>,
+}
+
+impl BatchWorkload {
+    /// An empty batch (zero cost).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Total new tokens processed by this batch.
+    pub fn total_tokens(&self) -> usize {
+        self.prefill_tokens() + self.decode_tokens()
+    }
+
+    /// New prefill tokens in this batch.
+    pub fn prefill_tokens(&self) -> usize {
+        self.prefill.iter().map(|c| c.tokens).sum()
+    }
+
+    /// Decode tokens in this batch (= number of decode sequences).
+    pub fn decode_tokens(&self) -> usize {
+        self.decode.len()
+    }
+
+    /// Whether the batch contains no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.prefill.is_empty() && self.decode.is_empty()
+    }
+
+    /// Number of tokens that require an LM-head projection and sampling:
+    /// every decode token, plus each prefill chunk that completes its prompt
+    /// cannot be distinguished here, so callers pass it explicitly; this
+    /// helper counts the upper bound (all sequences).
+    pub fn sampled_tokens_upper_bound(&self) -> usize {
+        self.decode.len() + self.prefill.len()
+    }
+}
+
+/// Analytic forward-pass latency model for one GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// The transformer being served.
+    pub model: ModelConfig,
+    /// The GPU executing a stage.
+    pub gpu: GpuSpec,
+    /// Fixed kernel-launch/dispatch overhead per decoder layer, seconds.
+    pub layer_overhead_s: f64,
+    /// Fixed per-forward overhead per stage (scheduling handoff, final
+    /// sync), seconds.
+    pub base_overhead_s: f64,
+    /// Model the quadratic attention-score cost (true = physical hardware
+    /// behaviour; false = the linear-in-tokens idealisation the paper's
+    /// scheduler assumes, used by ablation benches).
+    pub include_attention_term: bool,
+    /// Activation traffic per token per layer, expressed as a multiple of
+    /// `hidden_size × dtype_bytes` (reads + writes around GEMMs/norms).
+    pub activation_traffic_factor: f64,
+    /// Token count scale of the GEMM-efficiency saturation curve: small
+    /// batches under-utilise the GPU (partially-empty tiles), so compute
+    /// throughput scales as `floor + (1 − floor) · t / (t + saturation)`.
+    /// This is what makes conservative token budgets (`#MaxP = 512`) cost
+    /// real prefill rate (§4.6.2).
+    pub compute_saturation_tokens: f64,
+    /// Mixture-of-experts execution-time variance (the paper's §6:
+    /// "variability in expert activation introduces additional imbalance").
+    /// 0 models a dense model; `v > 0` multiplies each forward pass by a
+    /// deterministic pseudo-random factor in `[1, 1 + v]` derived from the
+    /// batch composition — identical batches route identically, different
+    /// batches diverge, exactly the imbalance expert routing creates.
+    pub expert_imbalance: f64,
+}
+
+impl CostModel {
+    /// A cost model with default micro-architecture constants.
+    pub fn new(model: ModelConfig, gpu: GpuSpec) -> Self {
+        Self {
+            model,
+            gpu,
+            layer_overhead_s: 35e-6,
+            base_overhead_s: 150e-6,
+            include_attention_term: true,
+            activation_traffic_factor: 12.0,
+            compute_saturation_tokens: 256.0,
+            expert_imbalance: 0.0,
+        }
+    }
+
+    /// Model MoE routing variance of magnitude `v` (each forward pass costs
+    /// a deterministic batch-dependent factor in `[1, 1 + v]` extra).
+    pub fn with_expert_imbalance(mut self, v: f64) -> Self {
+        assert!(v >= 0.0);
+        self.expert_imbalance = v;
+        self
+    }
+
+    /// Deterministic per-batch imbalance factor in `[1, 1 + expert_imbalance]`.
+    fn imbalance_factor(&self, layers: usize, batch: &BatchWorkload) -> f64 {
+        if self.expert_imbalance == 0.0 {
+            return 1.0;
+        }
+        // Splitmix64 over the batch's composition.
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (layers as u64);
+        for c in batch.prefill.iter().chain(batch.decode.iter()) {
+            h ^= (c.tokens as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                ^ (c.context_before as u64).rotate_left(23);
+            h = (h ^ (h >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        }
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + self.expert_imbalance * u
+    }
+
+    /// Disable the quadratic attention term (linear-in-tokens idealisation).
+    pub fn without_attention_term(mut self) -> Self {
+        self.include_attention_term = false;
+        self
+    }
+
+    /// Total FLOPs for `layers` decoder layers over this batch, plus an
+    /// LM-head projection for `lm_head_tokens` tokens (pass 0 for
+    /// non-terminal pipeline stages).
+    pub fn flops(&self, layers: usize, batch: &BatchWorkload, lm_head_tokens: usize) -> f64 {
+        let m = &self.model;
+        let tokens = batch.total_tokens() as f64;
+        let linear = tokens * m.linear_flops_per_token_per_layer() as f64 * layers as f64;
+        let attn = if self.include_attention_term {
+            let per_layer: f64 = batch
+                .prefill
+                .iter()
+                .chain(batch.decode.iter())
+                .map(|c| Self::chunk_attn_units(c) * 4.0 * m.q_dim() as f64)
+                .sum();
+            per_layer * layers as f64
+        } else {
+            0.0
+        };
+        let head = lm_head_tokens as f64 * m.lm_head_flops_per_token() as f64;
+        linear + attn + head
+    }
+
+    /// Sum over tokens of the context length each attends to:
+    /// `Σ_{j=1..tokens} (context_before + j)`.
+    fn chunk_attn_units(c: &SequenceChunk) -> f64 {
+        let t = c.tokens as f64;
+        t * c.context_before as f64 + t * (t + 1.0) / 2.0
+    }
+
+    /// Bytes moved through device memory for `layers` decoder layers over
+    /// this batch: weights (read once per forward), KV-cache reads/writes
+    /// and activation traffic.
+    pub fn mem_bytes(&self, layers: usize, batch: &BatchWorkload) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let m = &self.model;
+        let weights = m.layer_weight_bytes(layers) as f64;
+        let kv_per_tok_layer = m.kv_bytes_per_token_per_layer() as f64;
+        // Flash-attention-style IO: each chunk streams its full KV once
+        // (context_after reads) and writes its new tokens.
+        let kv: f64 = batch
+            .prefill
+            .iter()
+            .chain(batch.decode.iter())
+            .map(|c| (c.context_after() + c.tokens) as f64 * kv_per_tok_layer)
+            .sum::<f64>()
+            * layers as f64;
+        let act = batch.total_tokens() as f64
+            * m.hidden_size as f64
+            * m.dtype_bytes as f64
+            * self.activation_traffic_factor
+            * layers as f64;
+        weights + kv + act
+    }
+
+    /// Forward-pass time of one pipeline stage holding `layers` layers.
+    ///
+    /// `lm_head_tokens` is the number of tokens sampled at this stage (only
+    /// nonzero for the last stage). An empty batch costs nothing.
+    pub fn stage_forward_time(
+        &self,
+        layers: usize,
+        batch: &BatchWorkload,
+        lm_head_tokens: usize,
+    ) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let compute = self.flops(layers, batch, lm_head_tokens)
+            / (self.gpu.effective_flops() * self.batch_efficiency(batch.total_tokens()));
+        let memory = self.mem_bytes(layers, batch) / self.gpu.effective_bandwidth();
+        compute.max(memory) * self.imbalance_factor(layers, batch)
+            + layers as f64 * self.layer_overhead_s
+            + self.base_overhead_s
+    }
+
+    /// Fraction of asymptotic GEMM efficiency a batch of `tokens` achieves.
+    ///
+    /// The curve is floor-bounded: small batches lose some tile occupancy
+    /// (the floor, ~40 % loss at the limit) but never fall off a cliff —
+    /// their latency is dominated by the memory term anyway, which the
+    /// roofline `max` already captures.
+    #[inline]
+    fn batch_efficiency(&self, tokens: usize) -> f64 {
+        const FLOOR: f64 = 0.6;
+        let t = tokens as f64;
+        FLOOR + (1.0 - FLOOR) * t / (t + self.compute_saturation_tokens)
+    }
+
+    /// Forward-pass time of the whole model under tensor parallelism of
+    /// degree `tp` over `link`, including the two per-layer all-reduces of
+    /// the activation (`tokens × hidden × dtype` bytes each).
+    ///
+    /// Compute and weight traffic are divided by `tp`; KV traffic is also
+    /// sharded across ranks. The per-layer fixed overhead is *not* divided
+    /// (every rank launches every kernel) — this is why TP shines on fast
+    /// links and collapses on the paper's 73 Gbps simulated network.
+    pub fn tp_forward_time(&self, batch: &BatchWorkload, tp: usize, link: &LinkSpec) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        assert!(tp >= 1, "tensor parallel degree must be >= 1");
+        let layers = self.model.num_layers;
+        let sampled = batch.sampled_tokens_upper_bound();
+        let compute = self.flops(layers, batch, sampled)
+            / (self.gpu.effective_flops() * self.batch_efficiency(batch.total_tokens()))
+            / tp as f64;
+        let memory = self.mem_bytes(layers, batch) / self.gpu.effective_bandwidth() / tp as f64;
+        let act_bytes =
+            (batch.total_tokens() * self.model.hidden_size * self.model.dtype_bytes) as u64;
+        let comm = 2.0 * layers as f64 * link.allreduce_time(act_bytes, tp);
+        compute.max(memory)
+            + comm
+            + layers as f64 * self.layer_overhead_s
+            + self.base_overhead_s
+    }
+
+    /// Bytes of the activation tensor handed between adjacent pipeline
+    /// stages for this batch.
+    pub fn activation_bytes(&self, batch: &BatchWorkload) -> u64 {
+        (batch.total_tokens() * self.model.hidden_size * self.model.dtype_bytes) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_32b_on_l20() -> CostModel {
+        CostModel::new(ModelConfig::qwen2_5_32b(), GpuSpec::l20_48g())
+    }
+
+    fn prefill_batch(tokens: usize) -> BatchWorkload {
+        BatchWorkload {
+            prefill: vec![SequenceChunk::prefill(tokens, 0)],
+            decode: vec![],
+        }
+    }
+
+    fn decode_batch(seqs: usize, ctx: usize) -> BatchWorkload {
+        BatchWorkload {
+            prefill: vec![],
+            decode: (0..seqs).map(|_| SequenceChunk::decode(ctx)).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let cm = model_32b_on_l20();
+        assert_eq!(cm.stage_forward_time(16, &BatchWorkload::empty(), 0), 0.0);
+    }
+
+    #[test]
+    fn forward_time_is_in_papers_range() {
+        // The paper reports 20–800 ms per forward pass for its testbeds.
+        let cm = model_32b_on_l20();
+        let t = cm.stage_forward_time(16, &prefill_batch(2048), 1);
+        assert!((0.02..0.8).contains(&t), "2048-token chunk took {t} s");
+        let t = cm.stage_forward_time(16, &decode_batch(64, 512), 64);
+        assert!((0.005..0.8).contains(&t), "decode batch took {t} s");
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_decode_is_memory_bound() {
+        let cm = model_32b_on_l20();
+        let p = prefill_batch(2048);
+        assert!(
+            cm.flops(16, &p, 0) / cm.gpu.effective_flops()
+                > cm.mem_bytes(16, &p) / cm.gpu.effective_bandwidth()
+        );
+        let d = decode_batch(16, 512);
+        assert!(
+            cm.flops(16, &d, 0) / cm.gpu.effective_flops()
+                < cm.mem_bytes(16, &d) / cm.gpu.effective_bandwidth()
+        );
+    }
+
+    #[test]
+    fn decode_time_is_flat_in_batch_size_until_roofline() {
+        // Doubling a small decode batch should barely move the latency
+        // (weights dominate the traffic) — the batching win the paper
+        // describes in §2.2.
+        let cm = model_32b_on_l20();
+        let t1 = cm.stage_forward_time(16, &decode_batch(8, 256), 8);
+        let t2 = cm.stage_forward_time(16, &decode_batch(16, 256), 16);
+        assert!(t2 < t1 * 1.25, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn prefill_time_scales_with_tokens() {
+        let cm = model_32b_on_l20();
+        let t1 = cm.stage_forward_time(16, &prefill_batch(1024), 0);
+        let t2 = cm.stage_forward_time(16, &prefill_batch(2048), 0);
+        assert!(t2 > t1 * 1.6, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn attention_term_increases_cost_for_long_contexts() {
+        let with = model_32b_on_l20();
+        let without = with.clone().without_attention_term();
+        let b = BatchWorkload {
+            prefill: vec![SequenceChunk::prefill(512, 8192)],
+            decode: vec![],
+        };
+        assert!(with.stage_forward_time(16, &b, 0) > without.stage_forward_time(16, &b, 0));
+    }
+
+    #[test]
+    fn tp_reduces_latency_on_fast_links_only() {
+        let cm = model_32b_on_l20();
+        let b = prefill_batch(2048);
+        let t1 = cm.tp_forward_time(&b, 1, &LinkSpec::pcie());
+        let t4_pcie = cm.tp_forward_time(&b, 4, &LinkSpec::pcie());
+        let t4_net = cm.tp_forward_time(&b, 4, &LinkSpec::sim_network());
+        assert!(t4_pcie < t1, "TP should help intra-node: {t4_pcie} vs {t1}");
+        assert!(t4_net > t4_pcie, "network TP must pay more for all-reduce");
+    }
+
+    #[test]
+    fn activation_bytes_match_tokens_times_hidden() {
+        let cm = model_32b_on_l20();
+        let b = prefill_batch(100);
+        assert_eq!(cm.activation_bytes(&b), (100 * 5120 * 2) as u64);
+    }
+
+    #[test]
+    fn chunk_attention_units_closed_form() {
+        // 3 tokens after 10 context: (10+1) + (10+2) + (10+3) = 36.
+        let c = SequenceChunk::prefill(3, 10);
+        assert_eq!(CostModel::chunk_attn_units(&c), 36.0);
+    }
+
+    #[test]
+    fn small_batches_pay_an_efficiency_penalty_per_token() {
+        let cm = model_32b_on_l20();
+        let t_small = cm.stage_forward_time(16, &prefill_batch(256), 0);
+        let t_large = cm.stage_forward_time(16, &prefill_batch(2048), 0);
+        let per_tok_small = t_small / 256.0;
+        let per_tok_large = t_large / 2048.0;
+        assert!(
+            per_tok_small > per_tok_large * 1.12,
+            "small {per_tok_small} vs large {per_tok_large}"
+        );
+    }
+
+    #[test]
+    fn expert_imbalance_is_deterministic_and_bounded() {
+        let cm = model_32b_on_l20().with_expert_imbalance(0.3);
+        let base = model_32b_on_l20();
+        let b = decode_batch(16, 300);
+        let t = cm.stage_forward_time(16, &b, 16);
+        let t0 = base.stage_forward_time(16, &b, 16);
+        assert!(t >= t0 && t <= t0 * 1.3 + 1e-9, "t={t} t0={t0}");
+        assert_eq!(t, cm.stage_forward_time(16, &b, 16), "must be deterministic");
+        // A different batch composition routes differently.
+        let b2 = decode_batch(16, 301);
+        let t2 = cm.stage_forward_time(16, &b2, 16);
+        assert_ne!(t / t0, t2 / base.stage_forward_time(16, &b2, 16));
+    }
+
+    #[test]
+    fn zero_imbalance_is_identity() {
+        let cm = model_32b_on_l20().with_expert_imbalance(0.0);
+        let b = decode_batch(8, 100);
+        assert_eq!(
+            cm.stage_forward_time(16, &b, 8),
+            model_32b_on_l20().stage_forward_time(16, &b, 8)
+        );
+    }
+
+    #[test]
+    fn lm_head_only_charged_when_requested() {
+        let cm = model_32b_on_l20();
+        let b = decode_batch(4, 128);
+        assert!(cm.flops(16, &b, 4) > cm.flops(16, &b, 0));
+    }
+}

@@ -1,0 +1,126 @@
+//! GPU hardware specifications.
+//!
+//! The paper's three node types are captured here with their public
+//! datasheet numbers. The cost model never uses peak numbers directly — it
+//! applies achievable-efficiency factors (`compute_efficiency`,
+//! `bandwidth_efficiency`) because real transformer kernels reach 40–70 % of
+//! peak FLOPs and 60–90 % of peak bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU's compute, bandwidth and memory envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name (e.g. `"L20-48GB"`).
+    pub name: String,
+    /// Peak dense bf16 throughput in TFLOP/s.
+    pub peak_tflops_bf16: f64,
+    /// Peak HBM/GDDR bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Total device memory in GiB.
+    pub memory_gib: f64,
+    /// Fraction of peak FLOPs achievable by dense GEMMs (0, 1].
+    pub compute_efficiency: f64,
+    /// Fraction of peak bandwidth achievable by attention/KV kernels (0, 1].
+    pub bandwidth_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// Achievable compute throughput in FLOP/s.
+    #[inline]
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_tflops_bf16 * 1e12 * self.compute_efficiency
+    }
+
+    /// Achievable memory bandwidth in bytes/s.
+    #[inline]
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1e9 * self.bandwidth_efficiency
+    }
+
+    /// Total device memory in bytes.
+    #[inline]
+    pub fn memory_bytes(&self) -> u64 {
+        (self.memory_gib * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+
+    /// NVIDIA L20 48 GB (Ada, PCIe): the paper's intra-node testbed.
+    pub fn l20_48g() -> Self {
+        Self {
+            name: "L20-48GB".into(),
+            peak_tflops_bf16: 119.5,
+            mem_bandwidth_gbps: 864.0,
+            memory_gib: 48.0,
+            compute_efficiency: 0.55,
+            bandwidth_efficiency: 0.75,
+        }
+    }
+
+    /// NVIDIA A100 40 GB (PCIe): cross-node testbed for the 14B/32B models.
+    pub fn a100_40g() -> Self {
+        Self {
+            name: "A100-40GB".into(),
+            peak_tflops_bf16: 312.0,
+            mem_bandwidth_gbps: 1555.0,
+            memory_gib: 40.0,
+            compute_efficiency: 0.5,
+            bandwidth_efficiency: 0.8,
+        }
+    }
+
+    /// NVIDIA A800 80 GB: cross-node testbed for Llama-3.1-100B.
+    pub fn a800_80g() -> Self {
+        Self {
+            name: "A800-80GB".into(),
+            peak_tflops_bf16: 312.0,
+            mem_bandwidth_gbps: 2039.0,
+            memory_gib: 80.0,
+            compute_efficiency: 0.5,
+            bandwidth_efficiency: 0.8,
+        }
+    }
+
+    /// Look a preset up by a case-insensitive short name (`"l20"`, `"a100"`,
+    /// `"a800"`).
+    pub fn preset(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "l20" | "l20-48gb" => Some(Self::l20_48g()),
+            "a100" | "a100-40gb" => Some(Self::a100_40g()),
+            "a800" | "a800-80gb" => Some(Self::a800_80g()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_numbers_are_below_peak() {
+        for g in [GpuSpec::l20_48g(), GpuSpec::a100_40g(), GpuSpec::a800_80g()] {
+            assert!(g.effective_flops() < g.peak_tflops_bf16 * 1e12);
+            assert!(g.effective_bandwidth() < g.mem_bandwidth_gbps * 1e9);
+            assert!(g.memory_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn a100_out_computes_l20() {
+        assert!(GpuSpec::a100_40g().effective_flops() > GpuSpec::l20_48g().effective_flops());
+    }
+
+    #[test]
+    fn a800_has_twice_a100_memory() {
+        assert_eq!(
+            GpuSpec::a800_80g().memory_bytes(),
+            2 * GpuSpec::a100_40g().memory_bytes()
+        );
+    }
+
+    #[test]
+    fn presets_resolve() {
+        assert!(GpuSpec::preset("L20").is_some());
+        assert!(GpuSpec::preset("h100").is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! Model architecture descriptors, GPU hardware specifications and the
+//! analytic performance models that stand in for real CUDA execution in this
+//! reproduction of gLLM (SC '25).
+//!
+//! The paper evaluates on 4×L20 / 4×A100 / 4×A800 nodes serving Qwen2.5-14B,
+//! Qwen2.5-32B and a down-scaled Llama-3.1-100B. None of that hardware is
+//! available to a CPU-only reproduction, so this crate provides:
+//!
+//! * [`config::ModelConfig`] — transformer shape descriptors with exact
+//!   parameter / FLOP / KV-footprint accounting,
+//! * [`gpu::GpuSpec`] — peak compute, memory bandwidth and capacity of the
+//!   paper's GPUs,
+//! * [`comm::LinkSpec`] — an α–β communication model parameterised with the
+//!   paper's measured PCIe (20.79 GB/s) and simulated-network (73.28 Gbps)
+//!   numbers,
+//! * [`cost::CostModel`] — a roofline batch-latency model
+//!   (max(compute, memory) + fixed overhead) used by the discrete-event
+//!   simulator, and
+//! * [`partition::PipelinePartition`] — layer-to-stage assignment plus the
+//!   KV-cache capacity math that the Token Throttling scheduler depends on.
+//!
+//! Everything here is deterministic and pure: the same inputs always produce
+//! the same latencies, which keeps the whole simulation bit-reproducible.
+
+pub mod comm;
+pub mod config;
+pub mod cost;
+pub mod gpu;
+pub mod partition;
+
+pub use comm::LinkSpec;
+pub use config::ModelConfig;
+pub use cost::{BatchWorkload, CostModel, SequenceChunk};
+pub use gpu::GpuSpec;
+pub use partition::{ClusterSpec, PipelinePartition, StageResources};

@@ -1,0 +1,260 @@
+//! The driver worker.
+//!
+//! As in the paper (§3.3), the driver is a full pipeline stage that
+//! *additionally* receives requests from the frontend, runs the global
+//! scheduler, manages the unified KV cache/page tables, broadcasts batch
+//! metadata to every worker and streams sampled tokens back to the
+//! frontend. Everything is non-blocking: the driver multiplexes request
+//! intake and batch results with `select!` while micro-batches execute on
+//! downstream stages.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use gllm_core::{admit, BatchPlan, RequestPool, SchedulePolicy};
+use gllm_kvcache::KvCacheManager;
+use gllm_metrics::MetricsRecorder;
+use gllm_transformer::model::BatchChunk;
+use gllm_transformer::sampler::{sample, SamplingParams};
+use gllm_transformer::StageModel;
+
+use crate::messages::{
+    Activations, BatchMeta, BatchResult, DriverMsg, GenRequest, StreamEvent, WorkerMsg,
+};
+
+/// Per-request bookkeeping the driver keeps beside the pool.
+struct SeqInfo {
+    /// Full token text: prompt followed by every generated token.
+    text: Vec<u32>,
+    /// Sampling configuration.
+    params: SamplingParams,
+}
+
+/// The driver loop. Returns the metrics recorder at shutdown.
+#[allow(clippy::too_many_arguments)]
+pub fn run_driver(
+    mut stage0: StageModel,
+    policy: Arc<dyn SchedulePolicy>,
+    mut kvm: KvCacheManager,
+    req_rx: Receiver<DriverMsg>,
+    meta_txs: Vec<Sender<WorkerMsg>>,
+    act_tx: Option<Sender<Activations>>,
+    result_rx: Receiver<BatchResult>,
+    stream_tx: Sender<StreamEvent>,
+    depth: usize,
+    max_seqs_per_batch: usize,
+    cpp: bool,
+) -> MetricsRecorder {
+    let t0 = Instant::now();
+    let mut pool = RequestPool::new(max_seqs_per_batch).with_cpp(cpp);
+    let mut recorder = MetricsRecorder::new();
+    let mut seqs: HashMap<u64, SeqInfo> = HashMap::new();
+    let mut plans: HashMap<u64, BatchPlan> = HashMap::new();
+    let mut next_batch = 0u64;
+    let mut in_flight = 0usize;
+    let mut shutting_down = false;
+    let single_stage = meta_txs.is_empty();
+
+    loop {
+        crossbeam::channel::select! {
+            recv(req_rx) -> msg => match msg {
+                Ok(DriverMsg::Submit(r)) => on_submit(
+                    r, t0, &mut pool, &mut recorder, &mut seqs, &kvm, &stream_tx,
+                ),
+                Ok(DriverMsg::Shutdown) | Err(_) => shutting_down = true,
+            },
+            recv(result_rx) -> res => {
+                if let Ok(res) = res {
+                    on_result(
+                        res, t0, &mut pool, &mut kvm, &mut recorder, &mut seqs,
+                        &mut plans, &mut in_flight, &stream_tx,
+                    );
+                }
+            },
+            default(Duration::from_millis(1)) => {},
+        }
+        // Drain whatever else is ready before scheduling.
+        while let Ok(msg) = req_rx.try_recv() {
+            match msg {
+                DriverMsg::Submit(r) => {
+                    on_submit(r, t0, &mut pool, &mut recorder, &mut seqs, &kvm, &stream_tx)
+                }
+                DriverMsg::Shutdown => shutting_down = true,
+            }
+        }
+        while let Ok(res) = result_rx.try_recv() {
+            on_result(
+                res, t0, &mut pool, &mut kvm, &mut recorder, &mut seqs, &mut plans,
+                &mut in_flight, &stream_tx,
+            );
+        }
+
+        // Schedule while pipeline slots remain.
+        while in_flight < depth {
+            let view = pool.view(
+                kvm.free_rate(),
+                kvm.free_blocks() * kvm.block_size(),
+                depth,
+            );
+            let admission = admit(policy.plan(&view), &mut pool, &mut kvm);
+            for &victim in &admission.preempted {
+                recorder.on_preemption(victim);
+            }
+            let plan = admission.plan;
+            if plan.is_empty() {
+                if in_flight == 0 && pool.has_work() {
+                    if let Some((victim, _)) = pool.preempt_stalled_waiting() {
+                        if kvm.contains(victim) {
+                            kvm.evict(victim).expect("victim held KV");
+                        }
+                        recorder.on_preemption(victim);
+                        continue;
+                    }
+                }
+                break;
+            }
+            pool.commit(&plan);
+            let batch = next_batch;
+            next_batch += 1;
+            let meta = build_meta(batch, &plan, &pool, &kvm, &seqs);
+            // Preemptive metadata: every worker learns the batch layout
+            // before any activations move.
+            for tx in &meta_txs {
+                tx.send(WorkerMsg::Batch(meta.clone())).expect("worker hung up");
+            }
+            // Stage-0 execution (the driver is a worker too).
+            let tables: Vec<_> = meta.tables.iter().collect();
+            let mut hidden = stage0.embed(&meta.chunks);
+            stage0.forward(&meta.chunks, &tables, &mut hidden);
+            plans.insert(batch, plan);
+            in_flight += 1;
+            if single_stage {
+                // Driver is also the last stage: project, sample, complete.
+                let logits = stage0.project(&meta.chunks, &hidden);
+                let mut tokens = Vec::with_capacity(logits.len());
+                let mut li = 0;
+                for (ci, chunk) in meta.chunks.iter().enumerate() {
+                    if !chunk.sample {
+                        continue;
+                    }
+                    let (seq, lg) = &logits[li];
+                    li += 1;
+                    let (params, step) = meta.samples[ci].expect("sampled chunk has params");
+                    tokens.push((*seq, sample(lg, &params, *seq, step)));
+                }
+                on_result(
+                    BatchResult { batch, tokens },
+                    t0, &mut pool, &mut kvm, &mut recorder, &mut seqs, &mut plans,
+                    &mut in_flight, &stream_tx,
+                );
+            } else {
+                act_tx
+                    .as_ref()
+                    .expect("multi-stage runtime has an activation channel")
+                    .send(Activations { batch, hidden })
+                    .expect("stage 1 hung up");
+            }
+        }
+
+        if shutting_down && in_flight == 0 {
+            break;
+        }
+    }
+    for tx in &meta_txs {
+        let _ = tx.send(WorkerMsg::Shutdown);
+    }
+    recorder
+}
+
+fn on_submit(
+    r: GenRequest,
+    t0: Instant,
+    pool: &mut RequestPool,
+    recorder: &mut MetricsRecorder,
+    seqs: &mut HashMap<u64, SeqInfo>,
+    kvm: &KvCacheManager,
+    stream_tx: &Sender<StreamEvent>,
+) {
+    let now = t0.elapsed().as_secs_f64();
+    recorder.on_arrival(r.id, now, r.prompt.len());
+    if r.prompt.is_empty()
+        || r.max_new == 0
+        || r.prompt.len() + r.max_new + kvm.block_size() > kvm.token_capacity()
+    {
+        let _ = stream_tx.send(StreamEvent::Rejected { seq: r.id });
+        return;
+    }
+    pool.add(r.id, r.prompt.len(), r.max_new);
+    seqs.insert(r.id, SeqInfo { text: r.prompt, params: r.params });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_result(
+    res: BatchResult,
+    t0: Instant,
+    pool: &mut RequestPool,
+    kvm: &mut KvCacheManager,
+    recorder: &mut MetricsRecorder,
+    seqs: &mut HashMap<u64, SeqInfo>,
+    plans: &mut HashMap<u64, BatchPlan>,
+    in_flight: &mut usize,
+    stream_tx: &Sender<StreamEvent>,
+) {
+    let plan = plans.remove(&res.batch).expect("result for unknown batch");
+    let outcome = pool.complete(&plan);
+    let now = t0.elapsed().as_secs_f64();
+    let token_of: HashMap<u64, u32> = res.tokens.into_iter().collect();
+    for e in &outcome.emitted {
+        let token = *token_of.get(&e.seq).expect("sampled token for emitted sequence");
+        recorder.on_token(e.seq, now);
+        if e.finished {
+            recorder.on_finish(e.seq, now);
+            kvm.free(e.seq).expect("finished sequence had KV");
+            seqs.remove(&e.seq);
+        } else {
+            seqs.get_mut(&e.seq).expect("live sequence").text.push(token);
+        }
+        let _ = stream_tx.send(StreamEvent::Token { seq: e.seq, token, finished: e.finished });
+    }
+    *in_flight -= 1;
+}
+
+/// Assemble the broadcast metadata for an admitted, committed plan.
+fn build_meta(
+    batch: u64,
+    plan: &BatchPlan,
+    pool: &RequestPool,
+    kvm: &KvCacheManager,
+    seqs: &HashMap<u64, SeqInfo>,
+) -> BatchMeta {
+    let mut chunks = Vec::with_capacity(plan.num_seqs());
+    let mut tables = Vec::with_capacity(plan.num_seqs());
+    let mut samples = Vec::with_capacity(plan.num_seqs());
+    for c in &plan.prefill {
+        let info = &seqs[&c.seq];
+        chunks.push(BatchChunk {
+            seq: c.seq,
+            start_pos: c.context_before,
+            tokens: info.text[c.context_before..c.context_before + c.tokens].to_vec(),
+            sample: c.completes_prompt,
+        });
+        tables.push(kvm.table(c.seq).expect("admitted chunk has KV").clone());
+        samples.push(c.completes_prompt.then(|| {
+            (info.params, pool.seq(c.seq).expect("live").generated)
+        }));
+    }
+    for d in &plan.decode {
+        let info = &seqs[&d.seq];
+        chunks.push(BatchChunk {
+            seq: d.seq,
+            start_pos: d.context_before,
+            tokens: vec![info.text[d.context_before]],
+            sample: true,
+        });
+        tables.push(kvm.table(d.seq).expect("admitted slot has KV").clone());
+        samples.push(Some((info.params, pool.seq(d.seq).expect("live").generated)));
+    }
+    BatchMeta { batch, chunks, tables, samples }
+}

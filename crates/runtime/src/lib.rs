@@ -1,0 +1,32 @@
+//! The gLLM asynchronous serving runtime (§3.3), as threads.
+//!
+//! The paper's runtime is a multi-process system: a frontend process for
+//! user interaction, a *driver worker* that schedules micro-batches, owns
+//! the KV cache and broadcasts metadata, and *ordinary workers* that
+//! execute pipeline stages, passing activations point-to-point. This crate
+//! reproduces that architecture with OS threads and crossbeam channels
+//! (standing in for ZeroMQ metadata sockets and NCCL activation streams):
+//!
+//! * **Non-blocking pipeline operations** — workers block only on their own
+//!   inputs; the driver multiplexes request intake and batch results with
+//!   `select!`, never stalling the pipeline.
+//! * **Decoupled frontend–backend processing** — callers talk to the
+//!   [`server::Server`] handle over channels; token streaming is
+//!   independent of model execution.
+//! * **Preemptive metadata scheduling** — the driver broadcasts each
+//!   micro-batch's metadata (chunk composition + page tables) to *all*
+//!   stages at schedule time, so a worker can prepare before the previous
+//!   stage's activations arrive.
+//!
+//! Execution is real: every stage runs `gllm-transformer` layers, and the
+//! scheduler driving it is the *same* `gllm-core` policy object the
+//! simulator benchmarks — which is how the repository ties the performance
+//! claims to functional correctness.
+
+pub mod driver;
+pub mod messages;
+pub mod server;
+pub mod worker;
+
+pub use messages::{GenRequest, StreamEvent};
+pub use server::{RuntimeConfig, Server, Submitter};

@@ -1,0 +1,89 @@
+//! Channel message types: the runtime's wire protocol.
+
+use gllm_kvcache::PageTable;
+use gllm_transformer::model::BatchChunk;
+use gllm_transformer::sampler::SamplingParams;
+
+/// A generation request submitted by the frontend.
+#[derive(Debug, Clone)]
+pub struct GenRequest {
+    /// Unique request id (doubles as the sequence id).
+    pub id: u64,
+    /// Prompt token ids (non-empty).
+    pub prompt: Vec<u32>,
+    /// Output tokens to generate.
+    pub max_new: usize,
+    /// Sampling configuration.
+    pub params: SamplingParams,
+}
+
+/// Events streamed back to the frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// One output token for `seq`.
+    Token {
+        /// Sequence id.
+        seq: u64,
+        /// The sampled token.
+        token: u32,
+        /// Whether this token completed the request.
+        finished: bool,
+    },
+    /// The request can never be served (context exceeds KV capacity).
+    Rejected {
+        /// Sequence id.
+        seq: u64,
+    },
+}
+
+/// Metadata the driver broadcasts to every worker before a micro-batch
+/// executes — the paper's "preemptive metadata scheduling": workers receive
+/// this ahead of the activations and can prepare inputs early.
+#[derive(Debug, Clone)]
+pub struct BatchMeta {
+    /// Monotone batch id.
+    pub batch: u64,
+    /// Chunk composition (token ids, positions, sampling flags).
+    pub chunks: Vec<BatchChunk>,
+    /// Page table snapshot per chunk (unified tables, driver-owned).
+    pub tables: Vec<PageTable>,
+    /// For each chunk with `sample == true`: the sampling parameters and
+    /// the step index used to derive per-token randomness.
+    pub samples: Vec<Option<(SamplingParams, usize)>>,
+}
+
+/// Driver → worker control messages.
+#[derive(Debug, Clone)]
+pub enum WorkerMsg {
+    /// Execute this micro-batch (activations arrive separately).
+    Batch(BatchMeta),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Activations handed between consecutive stages (the NCCL stream).
+#[derive(Debug, Clone)]
+pub struct Activations {
+    /// Batch id (must match the head of the metadata queue).
+    pub batch: u64,
+    /// One `tokens × hidden` row buffer per chunk.
+    pub hidden: Vec<Vec<f32>>,
+}
+
+/// Sampled tokens returned by the last stage to the driver.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Batch id.
+    pub batch: u64,
+    /// `(seq, token)` for every sampled chunk, in chunk order.
+    pub tokens: Vec<(u64, u32)>,
+}
+
+/// Frontend → driver control messages.
+#[derive(Debug, Clone)]
+pub enum DriverMsg {
+    /// Serve this request.
+    Submit(GenRequest),
+    /// Finish in-flight batches, stop workers, exit.
+    Shutdown,
+}

@@ -1,0 +1,349 @@
+//! The serving frontend: spawn, submit, stream, shut down.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gllm_core::SchedulePolicy;
+use gllm_kvcache::KvCacheManager;
+use gllm_metrics::MetricsRecorder;
+use gllm_model::ModelConfig;
+use gllm_transformer::StageModel;
+
+use crate::driver::run_driver;
+use crate::messages::{DriverMsg, GenRequest, StreamEvent};
+use crate::worker::{run_worker, StageOutput};
+
+/// Deployment parameters of a threaded serving instance.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The transformer to serve.
+    pub model: ModelConfig,
+    /// Pipeline stages (threads); 1 collapses to a single-worker engine.
+    pub num_stages: usize,
+    /// KV blocks.
+    pub kv_blocks: usize,
+    /// Tokens per KV block.
+    pub block_size: usize,
+    /// Per-batch sequence cap.
+    pub max_seqs_per_batch: usize,
+    /// Weight seed (same seed + model = same parameters at any stage
+    /// count).
+    pub seed: u64,
+    /// Chunked pipeline parallelism: overlap a request's prefill chunks
+    /// across stages (§3.4). Outputs are bit-identical either way.
+    pub cpp: bool,
+}
+
+impl RuntimeConfig {
+    /// A small default around the tiny test model.
+    pub fn tiny(num_stages: usize) -> Self {
+        Self {
+            model: ModelConfig::tiny(),
+            num_stages,
+            kv_blocks: 256,
+            block_size: 4,
+            max_seqs_per_batch: 64,
+            seed: 2024,
+            cpp: false,
+        }
+    }
+}
+
+/// A cloneable handle that can submit requests to a running [`Server`].
+#[derive(Clone)]
+pub struct Submitter {
+    req_tx: Sender<DriverMsg>,
+}
+
+impl Submitter {
+    /// Submit a generation request.
+    pub fn submit(&self, req: GenRequest) {
+        self.req_tx
+            .send(DriverMsg::Submit(req))
+            .expect("driver hung up");
+    }
+}
+
+/// A running serving instance: frontend handle to the driver + workers.
+pub struct Server {
+    req_tx: Sender<DriverMsg>,
+    stream_rx: Receiver<StreamEvent>,
+    driver: Option<JoinHandle<MetricsRecorder>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn the driver and one worker thread per remaining stage.
+    pub fn start(cfg: RuntimeConfig, policy: Arc<dyn SchedulePolicy>) -> Self {
+        assert!(cfg.num_stages >= 1 && cfg.num_stages <= cfg.model.num_layers);
+        let kv_slots = cfg.kv_blocks * cfg.block_size;
+
+        // Even layer partition, remainder to early stages.
+        let layers = cfg.model.num_layers;
+        let per = layers / cfg.num_stages;
+        let extra = layers % cfg.num_stages;
+        let mut ranges = Vec::with_capacity(cfg.num_stages);
+        let mut start = 0;
+        for s in 0..cfg.num_stages {
+            let len = per + usize::from(s < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+
+        let (req_tx, req_rx) = unbounded();
+        let (stream_tx, stream_rx) = unbounded();
+        let (result_tx, result_rx) = unbounded();
+
+        // Wire workers 1..S: a metadata channel each (driver broadcast),
+        // and an activation chain driver → 1 → 2 → … → S−1 → results.
+        let mut meta_txs = Vec::with_capacity(cfg.num_stages.saturating_sub(1));
+        let mut workers = Vec::with_capacity(cfg.num_stages.saturating_sub(1));
+        let mut first_act_tx = None;
+        let mut next_act_rx: Option<Receiver<_>> = None;
+        for s in 1..cfg.num_stages {
+            let (meta_tx, meta_rx) = unbounded();
+            meta_txs.push(meta_tx);
+            let act_rx = if s == 1 {
+                let (tx, rx) = unbounded();
+                first_act_tx = Some(tx);
+                rx
+            } else {
+                next_act_rx.take().expect("previous stage wired")
+            };
+            let is_last = s + 1 == cfg.num_stages;
+            let output = if is_last {
+                StageOutput::Result(result_tx.clone())
+            } else {
+                let (tx, rx) = unbounded();
+                next_act_rx = Some(rx);
+                StageOutput::Next(tx)
+            };
+            let stage = StageModel::new(
+                cfg.model.clone(),
+                ranges[s].clone(),
+                kv_slots,
+                cfg.seed,
+                false,
+                is_last,
+            );
+            workers.push(std::thread::spawn(move || run_worker(stage, meta_rx, act_rx, output)));
+        }
+
+        let stage0 = StageModel::new(
+            cfg.model.clone(),
+            ranges[0].clone(),
+            kv_slots,
+            cfg.seed,
+            true,
+            cfg.num_stages == 1,
+        );
+        let kvm = KvCacheManager::new(cfg.kv_blocks, cfg.block_size);
+        let depth = cfg.num_stages;
+        let max_seqs = cfg.max_seqs_per_batch;
+        let cpp = cfg.cpp;
+        let driver = std::thread::spawn(move || {
+            run_driver(
+                stage0, policy, kvm, req_rx, meta_txs, first_act_tx, result_rx, stream_tx,
+                depth, max_seqs, cpp,
+            )
+        });
+
+        Self { req_tx, stream_rx, driver: Some(driver), workers }
+    }
+
+    /// Submit a generation request.
+    pub fn submit(&self, req: GenRequest) {
+        self.req_tx
+            .send(DriverMsg::Submit(req))
+            .expect("driver hung up");
+    }
+
+    /// A cloneable submission handle usable from other threads (e.g. HTTP
+    /// connection handlers) while the server itself lives elsewhere.
+    pub fn submitter(&self) -> Submitter {
+        Submitter { req_tx: self.req_tx.clone() }
+    }
+
+    /// Wait up to `timeout` for the next stream event.
+    pub fn next_event(&self, timeout: Duration) -> Option<StreamEvent> {
+        self.stream_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Submit `reqs` and block until each finishes (or is rejected),
+    /// returning the generated tokens per request id. Rejected requests
+    /// map to an empty vector.
+    pub fn generate_all(&self, reqs: Vec<GenRequest>) -> HashMap<u64, Vec<u32>> {
+        let mut out: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut open = reqs.len();
+        for r in reqs {
+            out.insert(r.id, Vec::new());
+            self.submit(r);
+        }
+        while open > 0 {
+            match self.next_event(Duration::from_secs(60)) {
+                Some(StreamEvent::Token { seq, token, finished }) => {
+                    out.get_mut(&seq).expect("event for unknown request").push(token);
+                    if finished {
+                        open -= 1;
+                    }
+                }
+                Some(StreamEvent::Rejected { seq }) => {
+                    out.get_mut(&seq).expect("event for unknown request").clear();
+                    open -= 1;
+                }
+                None => panic!("runtime stalled: no events within 60 s"),
+            }
+        }
+        out
+    }
+
+    /// Drain in-flight work, stop every thread and return the driver's
+    /// metrics.
+    pub fn shutdown(mut self) -> MetricsRecorder {
+        let _ = self.req_tx.send(DriverMsg::Shutdown);
+        let recorder = self
+            .driver
+            .take()
+            .expect("driver joined once")
+            .join()
+            .expect("driver panicked");
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+        recorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gllm_core::sarathi::SarathiServe;
+    use gllm_core::throttle::TokenThrottle;
+    use gllm_transformer::sampler::SamplingParams;
+    use gllm_transformer::CausalLM;
+
+    fn req(id: u64, prompt: Vec<u32>, max_new: usize) -> GenRequest {
+        GenRequest { id, prompt, max_new, params: SamplingParams::greedy() }
+    }
+
+    fn reference_generation(prompt: &[u32], max_new: usize) -> Vec<u32> {
+        let mut lm = CausalLM::new(ModelConfig::tiny(), 1, 256, 4, 2024);
+        lm.generate(99, prompt, max_new, 1024, &SamplingParams::greedy()).unwrap()
+    }
+
+    #[test]
+    fn single_stage_runtime_matches_reference_model() {
+        let server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
+        let out = server.generate_all(vec![req(1, vec![5, 9, 33, 120, 7], 10)]);
+        let rec = server.shutdown();
+        assert_eq!(out[&1], reference_generation(&[5, 9, 33, 120, 7], 10));
+        assert_eq!(rec.finished_count(), 1);
+    }
+
+    #[test]
+    fn pipelined_runtime_matches_reference_model() {
+        let server = Server::start(RuntimeConfig::tiny(4), Arc::new(TokenThrottle::default()));
+        let out = server.generate_all(vec![req(1, vec![5, 9, 33, 120, 7], 10)]);
+        server.shutdown();
+        assert_eq!(out[&1], reference_generation(&[5, 9, 33, 120, 7], 10));
+    }
+
+    #[test]
+    fn scheduler_choice_does_not_change_outputs() {
+        // The Table 1 claim: gLLM's throttled scheduling and Sarathi's
+        // coupled scheduling generate identical text.
+        let prompts: Vec<Vec<u32>> = (0..6)
+            .map(|i| (0..5 + i).map(|j| ((j * 37 + i * 11) % 256) as u32).collect())
+            .collect();
+        let reqs = |_: &str| -> Vec<GenRequest> {
+            prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 8)).collect()
+        };
+        let a = Server::start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
+        let out_throttle = a.generate_all(reqs("gllm"));
+        a.shutdown();
+        let b = Server::start(RuntimeConfig::tiny(2), Arc::new(SarathiServe::default()));
+        let out_sarathi = b.generate_all(reqs("sarathi"));
+        b.shutdown();
+        assert_eq!(out_throttle, out_sarathi);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out_throttle[&(i as u64)], reference_generation(p, 8), "req {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_all_complete_with_correct_lengths() {
+        let server = Server::start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
+        let reqs: Vec<GenRequest> = (0..10)
+            .map(|i| req(i, vec![(i % 250) as u32 + 1; 3 + (i as usize % 5)], 4 + (i as usize % 7)))
+            .collect();
+        let expected: Vec<usize> = reqs.iter().map(|r| r.max_new).collect();
+        let out = server.generate_all(reqs);
+        let rec = server.shutdown();
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(out[&(i as u64)].len(), *want, "request {i}");
+        }
+        assert_eq!(rec.finished_count(), 10);
+        // Wall-clock metrics are sane.
+        for (_, tl) in rec.timelines() {
+            assert!(tl.ttft().unwrap() >= 0.0);
+            assert!(tl.e2el().unwrap() >= tl.ttft().unwrap());
+        }
+    }
+
+    #[test]
+    fn cpp_runtime_produces_identical_outputs() {
+        // Chunk overlap across stages must not change a single token.
+        let prompts: Vec<Vec<u32>> = (0..4)
+            .map(|i| (0..30 + i * 5).map(|j| ((j * 13 + i * 7) % 256) as u32).collect())
+            .collect();
+        let reqs: Vec<GenRequest> =
+            prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 6)).collect();
+        // Small chunks force multi-chunk prefills.
+        let policy = || Arc::new(SarathiServe::new(16));
+        let classic = Server::start(RuntimeConfig::tiny(3), policy());
+        let out_classic = classic.generate_all(reqs.clone());
+        classic.shutdown();
+        let cpp_cfg = RuntimeConfig { cpp: true, ..RuntimeConfig::tiny(3) };
+        let with_cpp = Server::start(cpp_cfg, policy());
+        let out_cpp = with_cpp.generate_all(reqs);
+        with_cpp.shutdown();
+        assert_eq!(out_classic, out_cpp, "CPP changed generated tokens");
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out_cpp[&(i as u64)], reference_generation(p, 6), "request {i}");
+        }
+    }
+
+    #[test]
+    fn oversized_request_is_rejected() {
+        let server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
+        // Capacity is 256 blocks × 4 = 1024 tokens.
+        let out = server.generate_all(vec![req(1, vec![1; 2000], 10), req(2, vec![1, 2, 3], 3)]);
+        server.shutdown();
+        assert!(out[&1].is_empty(), "oversized request must be rejected");
+        assert_eq!(out[&2].len(), 3);
+    }
+
+    #[test]
+    fn kv_pressure_preempts_and_recomputes_without_changing_outputs() {
+        // Tiny cache: 16 blocks × 4 = 64 tokens for 4 requests needing
+        // 4 × (10 + 8) = 72 tokens at peak.
+        let cfg = RuntimeConfig {
+            kv_blocks: 16,
+            ..RuntimeConfig::tiny(2)
+        };
+        let prompts: Vec<Vec<u32>> =
+            (0..4).map(|i| (0..10).map(|j| ((i * 31 + j * 7) % 256) as u32).collect()).collect();
+        let server = Server::start(cfg, Arc::new(SarathiServe::default()));
+        let out = server.generate_all(
+            prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 8)).collect(),
+        );
+        let rec = server.shutdown();
+        assert_eq!(rec.finished_count(), 4);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out[&(i as u64)], reference_generation(p, 8), "request {i}");
+        }
+    }
+}

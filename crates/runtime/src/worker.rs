@@ -1,0 +1,68 @@
+//! Ordinary (non-driver) stage workers.
+//!
+//! A worker loops on its metadata channel: for each announced micro-batch
+//! it prepares the chunk structures (possible before activations arrive —
+//! the overlap §3.3 describes), blocks on the previous stage's activation
+//! stream, runs its decoder layers and forwards the result. The last stage
+//! additionally projects logits, samples tokens and returns them to the
+//! driver.
+
+use crossbeam::channel::{Receiver, Sender};
+use gllm_transformer::sampler::sample;
+use gllm_transformer::StageModel;
+
+use crate::messages::{Activations, BatchResult, WorkerMsg};
+
+/// What a worker does with its stage output.
+pub enum StageOutput {
+    /// Forward activations to the next stage.
+    Next(Sender<Activations>),
+    /// Final stage: sample and report to the driver.
+    Result(Sender<BatchResult>),
+}
+
+/// Run one worker until shutdown. `meta_rx` delivers batch metadata (ahead
+/// of data), `act_rx` the previous stage's activations.
+pub fn run_worker(
+    mut stage: StageModel,
+    meta_rx: Receiver<WorkerMsg>,
+    act_rx: Receiver<Activations>,
+    output: StageOutput,
+) {
+    while let Ok(msg) = meta_rx.recv() {
+        let meta = match msg {
+            WorkerMsg::Batch(meta) => meta,
+            WorkerMsg::Shutdown => break,
+        };
+        // Preparation from metadata alone (tables, chunk layout) happens
+        // here, before the activations land.
+        let tables: Vec<_> = meta.tables.iter().collect();
+        let acts = act_rx.recv().expect("activation stream closed mid-batch");
+        assert_eq!(acts.batch, meta.batch, "metadata/activation stream desynchronised");
+        let mut hidden = acts.hidden;
+        stage.forward(&meta.chunks, &tables, &mut hidden);
+        match &output {
+            StageOutput::Next(tx) => {
+                tx.send(Activations { batch: meta.batch, hidden })
+                    .expect("next stage hung up");
+            }
+            StageOutput::Result(tx) => {
+                let logits = stage.project(&meta.chunks, &hidden);
+                let mut tokens = Vec::with_capacity(logits.len());
+                let mut li = 0;
+                for (ci, chunk) in meta.chunks.iter().enumerate() {
+                    if !chunk.sample {
+                        continue;
+                    }
+                    let (seq, lg) = &logits[li];
+                    li += 1;
+                    let (params, step) =
+                        meta.samples[ci].as_ref().expect("sampled chunk has params");
+                    tokens.push((*seq, sample(lg, params, *seq, *step)));
+                }
+                tx.send(BatchResult { batch: meta.batch, tokens })
+                    .expect("driver hung up");
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Maximum-throughput search (the paper's scalability methodology, §4.3:
+//! "incrementally increasing request rates until system throughput
+//! stabilizes").
+
+use gllm_workload::{ArrivalProcess, Dataset, Trace};
+
+use crate::deployment::Deployment;
+use crate::engine::EngineConfig;
+use crate::experiment::run_experiment;
+use crate::systems::SystemConfig;
+
+/// Result of a max-throughput search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityResult {
+    /// Best sustained throughput observed (input+output tokens/s).
+    pub max_throughput_tok_s: f64,
+    /// Request rate at which it was achieved.
+    pub at_rate: f64,
+}
+
+/// Escalate the request rate geometrically until throughput stops improving
+/// by more than `plateau_tol` (relative), then report the best observed.
+///
+/// `base_rate` seeds the ladder; the workload and seed are fixed per step
+/// so different systems face paired workloads at each rate.
+pub fn max_throughput(
+    system: &SystemConfig,
+    deployment: &Deployment,
+    dataset: Dataset,
+    base_rate: f64,
+    seed: u64,
+) -> CapacityResult {
+    let cfg = EngineConfig {
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
+    let plateau_tol = 0.03;
+    let mut best = CapacityResult { max_throughput_tok_s: 0.0, at_rate: base_rate };
+    let mut rate = base_rate;
+    let mut flat_steps = 0;
+    // A 64 s send window (half the paper's 128 s) keeps the search cheap;
+    // the plateau *location* depends on the rate, not the window length.
+    let window_s = 64.0;
+    for _ in 0..8 {
+        let trace =
+            Trace::synthesize(dataset, ArrivalProcess::Poisson { rate }, window_s, 0, seed);
+        let result = run_experiment(&trace, system, deployment, &cfg);
+        let tput = result.report.throughput_tok_s;
+        if tput_improves(tput, best.max_throughput_tok_s, plateau_tol) {
+            best = CapacityResult { max_throughput_tok_s: tput, at_rate: rate };
+            flat_steps = 0;
+        } else {
+            flat_steps += 1;
+            if tput > best.max_throughput_tok_s {
+                best = CapacityResult { max_throughput_tok_s: tput, at_rate: rate };
+            }
+            if flat_steps >= 2 {
+                break;
+            }
+        }
+        rate *= 1.6;
+    }
+    best
+}
+
+fn tput_improves(new: f64, best: f64, tol: f64) -> bool {
+    new > best * (1.0 + tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gllm_model::{ClusterSpec, ModelConfig};
+
+    #[test]
+    fn search_finds_a_positive_plateau() {
+        let d = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
+        let cap = max_throughput(&SystemConfig::gllm(), &d, Dataset::ShareGpt, 1.0, 3);
+        assert!(cap.max_throughput_tok_s > 100.0);
+        assert!(cap.at_rate >= 1.0);
+    }
+
+    #[test]
+    fn more_gpus_give_more_capacity() {
+        let model = ModelConfig::qwen2_5_14b();
+        let d2 = Deployment::new(model.clone(), ClusterSpec::intra_node_l20(2));
+        let d4 = Deployment::new(model, ClusterSpec::intra_node_l20(4));
+        let c2 = max_throughput(&SystemConfig::gllm(), &d2, Dataset::ShareGpt, 2.0, 3);
+        let c4 = max_throughput(&SystemConfig::gllm(), &d4, Dataset::ShareGpt, 2.0, 3);
+        assert!(
+            c4.max_throughput_tok_s > c2.max_throughput_tok_s * 1.3,
+            "2 GPUs {} vs 4 GPUs {}",
+            c2.max_throughput_tok_s,
+            c4.max_throughput_tok_s
+        );
+    }
+}

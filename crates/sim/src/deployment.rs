@@ -1,0 +1,73 @@
+//! A model deployed on a cluster.
+
+use gllm_model::{ClusterSpec, ModelConfig, PipelinePartition};
+use serde::{Deserialize, Serialize};
+
+/// One model served on one cluster: everything the engine needs to size the
+/// KV cache and partition the layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// The transformer being served.
+    pub model: ModelConfig,
+    /// GPUs and interconnect.
+    pub cluster: ClusterSpec,
+    /// KV block size in tokens (vLLM default 16).
+    pub block_size: usize,
+    /// Per-batch sequence cap (vLLM's `--max-num-seqs`, paper: 1024).
+    pub max_seqs_per_batch: usize,
+}
+
+impl Deployment {
+    /// A deployment with the paper's engine defaults.
+    pub fn new(model: ModelConfig, cluster: ClusterSpec) -> Self {
+        Self { model, cluster, block_size: 16, max_seqs_per_batch: 1024 }
+    }
+
+    /// Even layer partition across the cluster's GPUs (pipeline mode).
+    pub fn partition(&self) -> PipelinePartition {
+        PipelinePartition::even(self.model.num_layers, self.cluster.num_gpus)
+    }
+
+    /// KV token capacity under pipeline parallelism.
+    pub fn pp_kv_tokens(&self) -> usize {
+        self.cluster.pp_kv_token_capacity(&self.model, &self.partition())
+    }
+
+    /// KV token capacity under tensor parallelism.
+    pub fn tp_kv_tokens(&self) -> usize {
+        self.cluster.tp_kv_token_capacity(&self.model)
+    }
+
+    /// KV blocks for the given parallelism's token capacity.
+    pub fn kv_blocks(&self, tokens: usize) -> usize {
+        (tokens / self.block_size).max(1)
+    }
+
+    /// The context length at which one token's attention-score FLOPs equal
+    /// its dense-projection FLOPs (`params_per_layer / (2 × q_dim)`): the
+    /// natural `quad_ref` for context-aware throttling.
+    pub fn quad_ref_tokens(&self) -> f64 {
+        self.model.params_per_layer() as f64 / (2.0 * self.model.q_dim() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_main_config_is_feasible() {
+        let d = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
+        assert_eq!(d.partition().depth(), 4);
+        assert!(d.pp_kv_tokens() > 10_000);
+        assert!(d.tp_kv_tokens() > 10_000);
+        assert!(d.kv_blocks(d.pp_kv_tokens()) > 600);
+    }
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let d = Deployment::new(ModelConfig::tiny(), ClusterSpec::intra_node_l20(4));
+        assert_eq!(d.block_size, 16);
+        assert_eq!(d.max_seqs_per_batch, 1024);
+    }
+}

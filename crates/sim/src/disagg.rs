@@ -1,0 +1,507 @@
+//! Prefill/decode-disaggregated serving (Splitwise / DistServe style).
+//!
+//! The architecture the paper discusses as the main alternative (§1, §2):
+//! prefill and decode run on *separate* GPU groups connected by KV-cache
+//! transmission. Each request prefills on the prefill cluster (emitting its
+//! first token), ships its KV cache across the interconnect, then decodes
+//! on the decode cluster. This eliminates prefill/decode interference by
+//! construction — at the cost the paper calls out: the GPU ratio between
+//! the two groups must be chosen in advance, and a mismatch with the
+//! workload's prefill:decode balance strands capacity on one side. The
+//! `abl_disaggregation` bench quantifies exactly that sensitivity against
+//! unified gLLM.
+//!
+//! Implementation: two pipeline groups driven by one deterministic event
+//! queue. The prefill side runs Sarathi-style pure-prefill batching (there
+//! are never decodes there); the decode side runs gLLM's Eq. 4 decode
+//! spreading (DistServe's decode instances also batch aggressively).
+//! Decode-side preemptions recompute on the decode cluster, as real
+//! disaggregated systems do when the decode side runs out of KV.
+
+use std::collections::{HashMap, VecDeque};
+
+use gllm_core::sarathi::SarathiServe;
+use gllm_core::throttle::TokenThrottle;
+use gllm_core::{admit, BatchPlan, RequestPool, SchedulePolicy};
+use gllm_kvcache::KvCacheManager;
+use gllm_metrics::{BusyTracker, MetricsRecorder, TokenTrace};
+use gllm_model::{BatchWorkload, CostModel, PipelinePartition, SequenceChunk};
+use gllm_workload::Trace;
+
+use crate::deployment::Deployment;
+use crate::engine::{EngineConfig, ExecutionModel, SimOutput};
+use crate::event::EventQueue;
+use crate::runtime_model::RuntimeModel;
+
+/// GPU split of a disaggregated deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisaggConfig {
+    /// GPUs dedicated to prefill (pipeline depth of the prefill group).
+    pub prefill_gpus: usize,
+    /// GPUs dedicated to decode (pipeline depth of the decode group).
+    pub decode_gpus: usize,
+}
+
+impl DisaggConfig {
+    /// Display name like `"Disagg 1P:3D"`.
+    pub fn name(&self) -> String {
+        format!("Disagg {}P:{}D", self.prefill_gpus, self.decode_gpus)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DEvent {
+    Arrival { trace_index: usize },
+    StageDone { side: usize, batch: u64, stage: usize },
+    BatchReady { side: usize, batch: u64, stage: usize },
+    TransferDone { seq: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct InFlightBatch {
+    plan: BatchPlan,
+    workload: BatchWorkload,
+    sampled: usize,
+    num_seqs: usize,
+}
+
+struct PipeSide {
+    exec: ExecutionModel,
+    policy: Box<dyn SchedulePolicy>,
+    pool: RequestPool,
+    kv: KvCacheManager,
+    stage_busy: Vec<Option<u64>>,
+    stage_queue: Vec<VecDeque<u64>>,
+    batches: HashMap<u64, InFlightBatch>,
+    in_flight: usize,
+    gpu_offset: usize,
+}
+
+const PREFILL: usize = 0;
+const DECODE: usize = 1;
+
+/// Run `trace` on a disaggregated deployment of `deployment.model` over
+/// `deployment.cluster`'s GPU type/link, split per `cfg`.
+pub fn simulate_disaggregated(
+    trace: &Trace,
+    deployment: &Deployment,
+    cfg: DisaggConfig,
+    engine_cfg: &EngineConfig,
+) -> SimOutput {
+    assert!(cfg.prefill_gpus >= 1 && cfg.decode_gpus >= 1);
+    assert_eq!(
+        cfg.prefill_gpus + cfg.decode_gpus,
+        deployment.cluster.num_gpus,
+        "split must use the whole cluster"
+    );
+    let model = &deployment.model;
+    let runtime = RuntimeModel::gllm();
+
+    let make_side = |gpus: usize, policy: Box<dyn SchedulePolicy>, offset: usize| {
+        let partition = PipelinePartition::even(model.num_layers, gpus);
+        let mut cluster = deployment.cluster.clone();
+        cluster.num_gpus = gpus;
+        let kv_tokens = cluster.pp_kv_token_capacity(model, &partition);
+        let exec = ExecutionModel::Pipeline {
+            cost: CostModel::new(model.clone(), cluster.gpu.clone()),
+            partition,
+            link: cluster.link.clone(),
+        };
+        let stages = exec.stage_count();
+        PipeSide {
+            exec,
+            policy,
+            pool: RequestPool::new(deployment.max_seqs_per_batch),
+            kv: KvCacheManager::from_token_capacity(kv_tokens.max(1), deployment.block_size),
+            stage_busy: vec![None; stages],
+            stage_queue: vec![VecDeque::new(); stages],
+            batches: HashMap::new(),
+            in_flight: 0,
+            gpu_offset: offset,
+        }
+    };
+
+    let mut sides = [
+        make_side(cfg.prefill_gpus, Box::new(SarathiServe::default()), 0),
+        make_side(cfg.decode_gpus, Box::new(TokenThrottle::default()), cfg.prefill_gpus),
+    ];
+
+    // Request book-keeping: (prompt_len, max_output) by id, and the KV
+    // transfer cost between the clusters.
+    let req_info: HashMap<u64, (usize, usize)> = trace
+        .requests
+        .iter()
+        .map(|r| (r.id, (r.prompt_len, r.output_len)))
+        .collect();
+    let kv_bytes_per_token = model.kv_bytes_per_token();
+
+    let mut events: EventQueue<DEvent> = EventQueue::new();
+    for (i, r) in trace.requests.iter().enumerate() {
+        events.push(r.arrival_s, DEvent::Arrival { trace_index: i });
+    }
+
+    let mut recorder = MetricsRecorder::new();
+    let mut token_trace = TokenTrace::new();
+    let mut busy = BusyTracker::new(deployment.cluster.num_gpus);
+    let mut pending_admits: VecDeque<u64> = VecDeque::new();
+    let mut clock = 0.0f64;
+    let mut next_batch = 0u64;
+    let mut sched_iterations = 0usize;
+    let mut preemptions = 0u64;
+    let mut aborted = 0usize;
+
+    // --- helpers as closures are borrow-hostile; use macros-by-fn style ---
+    fn start_stage(
+        side: &mut PipeSide,
+        runtime: &RuntimeModel,
+        events: &mut EventQueue<DEvent>,
+        busy: &mut BusyTracker,
+        record_util: bool,
+        side_idx: usize,
+        batch: u64,
+        stage: usize,
+        t: f64,
+    ) {
+        let b = &side.batches[&batch];
+        let dur = side.exec.stage_time(stage, &b.workload, b.sampled)
+            + runtime.stage_overhead(b.num_seqs);
+        side.stage_busy[stage] = Some(batch);
+        if record_util {
+            busy.record(side.gpu_offset + stage, t, t + dur);
+        }
+        events.push(t + dur, DEvent::StageDone { side: side_idx, batch, stage });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_schedule(
+        side: &mut PipeSide,
+        runtime: &RuntimeModel,
+        events: &mut EventQueue<DEvent>,
+        busy: &mut BusyTracker,
+        recorder: &mut MetricsRecorder,
+        token_trace: &mut TokenTrace,
+        engine_cfg: &EngineConfig,
+        side_idx: usize,
+        clock: f64,
+        next_batch: &mut u64,
+        sched_iterations: &mut usize,
+        preemptions: &mut u64,
+    ) {
+        loop {
+            if side.in_flight >= side.exec.scheduler_depth()
+                || side.stage_busy[0].is_some()
+                || !side.stage_queue[0].is_empty()
+            {
+                return;
+            }
+            let view = side.pool.view(
+                side.kv.free_rate(),
+                side.kv.free_blocks() * side.kv.block_size(),
+                side.exec.scheduler_depth(),
+            );
+            let admission = admit(side.policy.plan(&view), &mut side.pool, &mut side.kv);
+            for &victim in &admission.preempted {
+                recorder.on_preemption(victim);
+                *preemptions += 1;
+            }
+            let plan = admission.plan;
+            if plan.is_empty() {
+                if side.in_flight == 0 && side.pool.has_work() {
+                    if let Some((victim, _)) = side.pool.preempt_stalled_waiting() {
+                        if side.kv.contains(victim) {
+                            side.kv.evict(victim).expect("victim held KV");
+                        }
+                        recorder.on_preemption(victim);
+                        *preemptions += 1;
+                        continue;
+                    }
+                }
+                return;
+            }
+            side.pool.commit(&plan);
+            if engine_cfg.record_token_trace {
+                token_trace.record(plan.prefill_tokens(), plan.decode_tokens());
+            }
+            *sched_iterations += 1;
+            let workload = BatchWorkload {
+                prefill: plan
+                    .prefill
+                    .iter()
+                    .map(|c| SequenceChunk::prefill(c.tokens, c.context_before))
+                    .collect(),
+                decode: plan
+                    .decode
+                    .iter()
+                    .map(|d| SequenceChunk::decode(d.context_before))
+                    .collect(),
+            };
+            let sampled =
+                plan.decode.len() + plan.prefill.iter().filter(|c| c.completes_prompt).count();
+            let num_seqs = plan.num_seqs();
+            let id = *next_batch;
+            *next_batch += 1;
+            side.batches.insert(id, InFlightBatch { plan, workload, sampled, num_seqs });
+            side.in_flight += 1;
+            start_stage(
+                side,
+                runtime,
+                events,
+                busy,
+                engine_cfg.record_utilization,
+                side_idx,
+                id,
+                0,
+                clock + runtime.sched_overhead_s,
+            );
+        }
+    }
+
+    macro_rules! schedule_side {
+        ($idx:expr) => {
+            try_schedule(
+                &mut sides[$idx],
+                &runtime,
+                &mut events,
+                &mut busy,
+                &mut recorder,
+                &mut token_trace,
+                engine_cfg,
+                $idx,
+                clock,
+                &mut next_batch,
+                &mut sched_iterations,
+                &mut preemptions,
+            )
+        };
+    }
+
+    while let Some((t, ev)) = events.pop() {
+        if t > engine_cfg.max_sim_time_s {
+            break;
+        }
+        clock = t;
+        match ev {
+            DEvent::Arrival { trace_index } => {
+                let r = &trace.requests[trace_index];
+                recorder.on_arrival(r.id, clock, r.prompt_len);
+                let fits_prefill = r.prompt_len + deployment.block_size
+                    <= sides[PREFILL].kv.token_capacity();
+                let fits_decode = r.total_tokens() + deployment.block_size
+                    <= sides[DECODE].kv.token_capacity();
+                if !fits_prefill || !fits_decode {
+                    aborted += 1;
+                    continue;
+                }
+                // Prefill side runs each request to its first token only.
+                sides[PREFILL].pool.add(r.id, r.prompt_len, 1);
+                schedule_side!(PREFILL);
+            }
+            DEvent::BatchReady { side, batch, stage } => {
+                let s = &mut sides[side];
+                if s.stage_busy[stage].is_none() && s.stage_queue[stage].is_empty() {
+                    start_stage(
+                        s,
+                        &runtime,
+                        &mut events,
+                        &mut busy,
+                        engine_cfg.record_utilization,
+                        side,
+                        batch,
+                        stage,
+                        clock,
+                    );
+                } else {
+                    s.stage_queue[stage].push_back(batch);
+                }
+            }
+            DEvent::StageDone { side, batch, stage } => {
+                {
+                    let s = &mut sides[side];
+                    debug_assert_eq!(s.stage_busy[stage], Some(batch));
+                    s.stage_busy[stage] = None;
+                    if let Some(next) = s.stage_queue[stage].pop_front() {
+                        start_stage(
+                            s,
+                            &runtime,
+                            &mut events,
+                            &mut busy,
+                            engine_cfg.record_utilization,
+                            side,
+                            next,
+                            stage,
+                            clock,
+                        );
+                    }
+                }
+                let stage_count = sides[side].exec.stage_count();
+                if stage + 1 < stage_count {
+                    let comm = {
+                        let s = &sides[side];
+                        s.exec.comm_time(&s.batches[&batch].workload)
+                    };
+                    events.push(clock + comm, DEvent::BatchReady { side, batch, stage: stage + 1 });
+                } else {
+                    // Batch complete on this side.
+                    let b = sides[side].batches.remove(&batch).expect("known batch");
+                    let outcome = sides[side].pool.complete(&b.plan);
+                    sides[side].in_flight -= 1;
+                    if side == PREFILL {
+                        // Finishing on the prefill side = first token out,
+                        // then ship the KV to the decode cluster.
+                        for e in &outcome.emitted {
+                            debug_assert!(e.finished, "prefill side runs to first token");
+                            recorder.on_token(e.seq, clock);
+                        }
+                        for &seq in &outcome.finished {
+                            let (prompt_len, _) = req_info[&seq];
+                            sides[PREFILL].kv.free(seq).expect("prefill KV present");
+                            let bytes = prompt_len as u64 * kv_bytes_per_token;
+                            let dt = deployment.cluster.link.p2p_time(bytes);
+                            events.push(clock + dt, DEvent::TransferDone { seq });
+                        }
+                        schedule_side!(PREFILL);
+                    } else {
+                        for e in &outcome.emitted {
+                            recorder.on_token(e.seq, clock);
+                        }
+                        for &seq in &outcome.finished {
+                            recorder.on_finish(seq, clock);
+                            sides[DECODE].kv.free(seq).expect("decode KV present");
+                        }
+                        // Freed KV may unblock queued transfers.
+                        while let Some(&seq) = pending_admits.front() {
+                            let (prompt_len, max_output) = req_info[&seq];
+                            if !sides[DECODE].kv.can_append(seq, prompt_len) {
+                                break;
+                            }
+                            pending_admits.pop_front();
+                            sides[DECODE].kv.append(seq, prompt_len).expect("checked");
+                            sides[DECODE].pool.add_decoding(seq, prompt_len, 1, max_output);
+                        }
+                        schedule_side!(DECODE);
+                    }
+                }
+                if stage == 0 {
+                    schedule_side!(side);
+                }
+            }
+            DEvent::TransferDone { seq } => {
+                let (prompt_len, max_output) = req_info[&seq];
+                if max_output <= 1 {
+                    // Single-token request: already complete at prefill.
+                    recorder.on_finish(seq, clock);
+                    continue;
+                }
+                if sides[DECODE].kv.can_append(seq, prompt_len) && pending_admits.is_empty() {
+                    sides[DECODE].kv.append(seq, prompt_len).expect("checked");
+                    sides[DECODE].pool.add_decoding(seq, prompt_len, 1, max_output);
+                    schedule_side!(DECODE);
+                } else {
+                    pending_admits.push_back(seq);
+                }
+            }
+        }
+    }
+
+    let unfinished = sides[PREFILL].pool.unfinished_count()
+        + sides[DECODE].pool.unfinished_count()
+        + pending_admits.len();
+    let used_rate = |s: &PipeSide| s.kv.free_rate();
+    let final_kv_free_rate = used_rate(&sides[PREFILL]).min(used_rate(&sides[DECODE]));
+    SimOutput {
+        recorder,
+        token_trace,
+        busy,
+        end_time_s: clock,
+        sched_iterations,
+        preemptions,
+        aborted,
+        unfinished,
+        final_kv_free_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gllm_metrics::ServingReport;
+    use gllm_model::{ClusterSpec, ModelConfig};
+    use gllm_workload::{ArrivalProcess, Dataset};
+
+    // 14B: the only paper model that fits a *single* L20, which asymmetric
+    // splits (1P:3D, 3P:1D) require.
+    fn deployment() -> Deployment {
+        Deployment::new(ModelConfig::qwen2_5_14b(), ClusterSpec::intra_node_l20(4))
+    }
+
+    fn run(cfg: DisaggConfig, trace: &Trace) -> SimOutput {
+        simulate_disaggregated(trace, &deployment(), cfg, &EngineConfig::default())
+    }
+
+    #[test]
+    fn all_requests_finish_across_both_clusters() {
+        let trace = Trace::synthesize(
+            Dataset::Fixed { prompt: 300, output: 24 },
+            ArrivalProcess::Burst,
+            1.0,
+            12,
+            0,
+        );
+        let out = run(DisaggConfig { prefill_gpus: 2, decode_gpus: 2 }, &trace);
+        let report = ServingReport::from_recorder(&out.recorder);
+        assert_eq!(report.finished_requests, 12);
+        let tokens: usize =
+            out.recorder.timelines().iter().map(|(_, t)| t.output_tokens).sum();
+        assert_eq!(tokens, 12 * 24);
+        assert_eq!(out.unfinished, 0);
+        assert_eq!(out.final_kv_free_rate, 1.0, "KV leaked on some side");
+    }
+
+    #[test]
+    fn online_trace_completes_and_is_deterministic() {
+        let trace = Trace::paper_online(Dataset::ShareGpt, 2.0, 5);
+        let a = run(DisaggConfig { prefill_gpus: 1, decode_gpus: 3 }, &trace);
+        let b = run(DisaggConfig { prefill_gpus: 1, decode_gpus: 3 }, &trace);
+        let ra = ServingReport::from_recorder(&a.recorder);
+        let rb = ServingReport::from_recorder(&b.recorder);
+        assert_eq!(ra, rb);
+        assert_eq!(ra.finished_requests, trace.len());
+    }
+
+    #[test]
+    fn ratio_mismatch_starves_one_side() {
+        // Prefill-heavy workload on a decode-heavy split vs a balanced
+        // split: the wrong ratio must cost throughput.
+        let trace = Trace::synthesize(
+            Dataset::Fixed { prompt: 2000, output: 8 },
+            ArrivalProcess::Poisson { rate: 2.0 },
+            64.0,
+            0,
+            9,
+        );
+        let starved = run(DisaggConfig { prefill_gpus: 1, decode_gpus: 3 }, &trace);
+        let matched = run(DisaggConfig { prefill_gpus: 3, decode_gpus: 1 }, &trace);
+        let rs = ServingReport::from_recorder(&starved.recorder);
+        let rm = ServingReport::from_recorder(&matched.recorder);
+        assert!(
+            rm.mean_ttft_s < rs.mean_ttft_s * 0.7,
+            "matched split should prefill much faster: {} vs {}",
+            rm.mean_ttft_s,
+            rs.mean_ttft_s
+        );
+    }
+
+    #[test]
+    fn single_token_requests_finish_at_transfer() {
+        let trace = Trace::synthesize(
+            Dataset::Fixed { prompt: 64, output: 1 },
+            ArrivalProcess::Burst,
+            1.0,
+            4,
+            0,
+        );
+        let out = run(DisaggConfig { prefill_gpus: 2, decode_gpus: 2 }, &trace);
+        let report = ServingReport::from_recorder(&out.recorder);
+        assert_eq!(report.finished_requests, 4);
+    }
+}

@@ -1,0 +1,260 @@
+//! Presets for every system in the paper's evaluation (§4.1 "Schemes").
+
+use gllm_core::batch_level::BatchLevelPolicy;
+use gllm_core::orca::OrcaPolicy;
+use gllm_core::sarathi::SarathiServe;
+use gllm_core::td_pipe::TdPipe;
+use gllm_core::throttle::{ThrottleConfig, TokenThrottle};
+use gllm_core::SchedulePolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::runtime_model::RuntimeModel;
+
+/// Which parallelism strategy the system deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Inter-layer (one stage per GPU) — vLLM and gLLM.
+    Pipeline,
+    /// Intra-layer (all GPUs per batch) — SGLang.
+    Tensor,
+}
+
+/// Constructible description of a scheduling policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// gLLM's Token Throttling with the given hyper-parameters.
+    Throttle(ThrottleConfig),
+    /// Sarathi-Serve's fixed-budget hybrid batching.
+    Sarathi {
+        /// Fixed token budget (paper: 2048).
+        token_budget: usize,
+    },
+    /// Orca-style whole-prompt iteration-level scheduling.
+    Orca {
+        /// New prompts admitted per iteration.
+        max_new_prompts: usize,
+    },
+    /// FasterTransformer-style run-to-completion batching.
+    BatchLevel {
+        /// Sequences per admitted batch.
+        batch_size: usize,
+    },
+    /// TD-Pipe's temporal prefill/decode disaggregation.
+    TdPipe {
+        /// Prefill-phase token budget per batch.
+        prefill_batch_tokens: usize,
+        /// Decode population that triggers the decode phase.
+        high_watermark: usize,
+        /// Decode population that releases back to prefill.
+        low_watermark: usize,
+    },
+}
+
+impl PolicyKind {
+    /// Instantiate the policy object.
+    pub fn build(&self) -> Box<dyn SchedulePolicy> {
+        match self {
+            PolicyKind::Throttle(cfg) => Box::new(TokenThrottle::new(*cfg)),
+            PolicyKind::Sarathi { token_budget } => Box::new(SarathiServe::new(*token_budget)),
+            PolicyKind::Orca { max_new_prompts } => {
+                Box::new(OrcaPolicy { max_new_prompts: *max_new_prompts })
+            }
+            PolicyKind::BatchLevel { batch_size } => {
+                Box::new(BatchLevelPolicy { batch_size: *batch_size })
+            }
+            PolicyKind::TdPipe { prefill_batch_tokens, high_watermark, low_watermark } => {
+                Box::new(TdPipe::new(*prefill_batch_tokens, *high_watermark, *low_watermark))
+            }
+        }
+    }
+}
+
+/// A complete system under test: policy + parallelism + runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Display name used in bench rows (matches the paper's legends).
+    pub name: String,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Parallelism strategy.
+    pub parallelism: Parallelism,
+    /// Runtime overhead model.
+    pub runtime: RuntimeModel,
+    /// Chunked pipeline parallelism (intra-request chunk overlap, §3.4).
+    #[serde(default)]
+    pub cpp: bool,
+}
+
+impl SystemConfig {
+    /// gLLM: Token Throttling on the asynchronous runtime (paper defaults
+    /// `#T = 8`, `#MaxP = 2048`, `#MinP = 32`, `KV_thresh = 0.05`).
+    pub fn gllm() -> Self {
+        Self::gllm_with(ThrottleConfig::default())
+    }
+
+    /// gLLM with custom throttle hyper-parameters (sensitivity study).
+    pub fn gllm_with(cfg: ThrottleConfig) -> Self {
+        Self {
+            name: "gLLM".into(),
+            policy: PolicyKind::Throttle(cfg),
+            parallelism: Parallelism::Pipeline,
+            runtime: RuntimeModel::gllm(),
+            cpp: false,
+        }
+    }
+
+    /// gLLM with chunked pipeline parallelism enabled (intra-request chunk
+    /// overlap across stages; §3.4 lists CPP among the integrated
+    /// optimizations).
+    pub fn gllm_cpp() -> Self {
+        Self {
+            name: "gLLM+CPP".into(),
+            cpp: true,
+            ..Self::gllm()
+        }
+    }
+
+    /// Ablation: gLLM without WT (§3.1.1 disabled).
+    pub fn gllm_without_wt() -> Self {
+        Self {
+            name: "gLLM w/o WT".into(),
+            policy: PolicyKind::Throttle(ThrottleConfig::default().without_wt()),
+            ..Self::gllm()
+        }
+    }
+
+    /// Ablation: gLLM without UT (§3.1.2 disabled).
+    pub fn gllm_without_ut() -> Self {
+        Self {
+            name: "gLLM w/o UT".into(),
+            policy: PolicyKind::Throttle(ThrottleConfig::default().without_ut()),
+            ..Self::gllm()
+        }
+    }
+
+    /// Ablation: gLLM runtime with Sarathi-Serve's coupled scheduling
+    /// policy (the paper's `gLLM w/ CK`, isolating the runtime's benefit).
+    pub fn gllm_with_ck() -> Self {
+        Self {
+            name: "gLLM w/ CK".into(),
+            policy: PolicyKind::Sarathi { token_budget: 2048 },
+            ..Self::gllm()
+        }
+    }
+
+    /// vLLM: Sarathi scheduling (budget 2048) on the coupled runtime,
+    /// pipeline parallelism.
+    pub fn vllm() -> Self {
+        Self {
+            name: "vLLM".into(),
+            policy: PolicyKind::Sarathi { token_budget: 2048 },
+            parallelism: Parallelism::Pipeline,
+            runtime: RuntimeModel::vllm(),
+            cpp: false,
+        }
+    }
+
+    /// SGLang: Sarathi scheduling (chunk 2048, mixed mode) on tensor
+    /// parallelism with its lighter runtime.
+    pub fn sglang() -> Self {
+        Self {
+            name: "SGLang".into(),
+            policy: PolicyKind::Sarathi { token_budget: 2048 },
+            parallelism: Parallelism::Tensor,
+            runtime: RuntimeModel::sglang(),
+            cpp: false,
+        }
+    }
+
+    /// Historical baseline: Orca-style iteration-level scheduling on the
+    /// coupled runtime.
+    pub fn orca() -> Self {
+        Self {
+            name: "Orca".into(),
+            policy: PolicyKind::Orca { max_new_prompts: 4 },
+            parallelism: Parallelism::Pipeline,
+            runtime: RuntimeModel::vllm(),
+            cpp: false,
+        }
+    }
+
+    /// TD-Pipe: temporally-disaggregated pipeline parallelism on the
+    /// asynchronous runtime (§2.4's offline-throughput alternative).
+    pub fn td_pipe() -> Self {
+        Self {
+            name: "TD-Pipe".into(),
+            policy: PolicyKind::TdPipe {
+                prefill_batch_tokens: 2048,
+                high_watermark: 256,
+                low_watermark: 64,
+            },
+            parallelism: Parallelism::Pipeline,
+            runtime: RuntimeModel::gllm(),
+            cpp: false,
+        }
+    }
+
+    /// Historical baseline: FasterTransformer-style batch-level scheduling.
+    pub fn faster_transformer() -> Self {
+        Self {
+            name: "FasterTransformer".into(),
+            policy: PolicyKind::BatchLevel { batch_size: 32 },
+            parallelism: Parallelism::Pipeline,
+            runtime: RuntimeModel::vllm(),
+            cpp: false,
+        }
+    }
+
+    /// The paper's three main schemes (Figs. 10, 12, 13).
+    pub fn paper_main() -> Vec<Self> {
+        vec![Self::vllm(), Self::sglang(), Self::gllm()]
+    }
+
+    /// The paper's ablation schemes (Fig. 15).
+    pub fn paper_ablation() -> Vec<Self> {
+        vec![
+            Self::gllm(),
+            Self::gllm_without_wt(),
+            Self::gllm_without_ut(),
+            Self::gllm_with_ck(),
+            Self::vllm(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_build_with_expected_names() {
+        assert_eq!(SystemConfig::gllm().policy.build().name(), "gLLM");
+        assert_eq!(SystemConfig::vllm().policy.build().name(), "Sarathi-Serve");
+        assert_eq!(SystemConfig::gllm_without_wt().policy.build().name(), "gLLM w/o WT");
+        assert_eq!(SystemConfig::orca().policy.build().name(), "Orca");
+        assert_eq!(
+            SystemConfig::faster_transformer().policy.build().name(),
+            "FasterTransformer"
+        );
+    }
+
+    #[test]
+    fn parallelism_assignment_matches_paper() {
+        assert_eq!(SystemConfig::gllm().parallelism, Parallelism::Pipeline);
+        assert_eq!(SystemConfig::vllm().parallelism, Parallelism::Pipeline);
+        assert_eq!(SystemConfig::sglang().parallelism, Parallelism::Tensor);
+    }
+
+    #[test]
+    fn ck_variant_pairs_sarathi_policy_with_gllm_runtime() {
+        let ck = SystemConfig::gllm_with_ck();
+        assert!(matches!(ck.policy, PolicyKind::Sarathi { token_budget: 2048 }));
+        assert!(!ck.runtime.coupled_input_prep);
+    }
+
+    #[test]
+    fn preset_lists_have_expected_sizes() {
+        assert_eq!(SystemConfig::paper_main().len(), 3);
+        assert_eq!(SystemConfig::paper_ablation().len(), 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the serving simulation: for arbitrary (bounded)
+//! workloads and any scheduling policy, the engine must conserve work and
+//! memory — every admissible request finishes with exactly its output
+//! length, the KV cache returns to empty, and runs are deterministic.
+
+use gllm_metrics::ServingReport;
+use gllm_model::{CostModel, GpuSpec, LinkSpec, ModelConfig, PipelinePartition};
+use gllm_sim::engine::{EngineConfig, ExecutionModel, SimEngine};
+use gllm_sim::runtime_model::RuntimeModel;
+use gllm_sim::SystemConfig;
+use gllm_workload::{Request, Trace};
+use proptest::prelude::*;
+
+fn exec(stages: usize) -> ExecutionModel {
+    let model = ModelConfig::qwen2_5_14b();
+    ExecutionModel::Pipeline {
+        cost: CostModel::new(model.clone(), GpuSpec::l20_48g()),
+        partition: PipelinePartition::even(model.num_layers, stages),
+        link: LinkSpec::pcie(),
+    }
+}
+
+/// An arbitrary bounded trace: up to 24 requests over up to 20 seconds.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0.0f64..20.0, 1usize..600, 1usize..40), 1..24).prop_map(|rows| {
+        let mut rows = rows;
+        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        Trace {
+            requests: rows
+                .into_iter()
+                .enumerate()
+                .map(|(id, (arrival_s, prompt_len, output_len))| Request {
+                    id: id as u64,
+                    arrival_s,
+                    prompt_len,
+                    output_len,
+                })
+                .collect(),
+        }
+    })
+}
+
+fn policies() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::gllm(),
+        SystemConfig::vllm(),
+        SystemConfig::td_pipe(),
+        SystemConfig::orca(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Work conservation: with ample KV, every request finishes with its
+    /// exact output length and the cache is returned, for every policy.
+    #[test]
+    fn every_policy_conserves_work_and_memory(trace in arb_trace(), stages in 1usize..5) {
+        for sys in policies() {
+            let policy = sys.policy.build();
+            let out = SimEngine::new(
+                &trace, policy.as_ref(), exec(stages), RuntimeModel::gllm(),
+                4096, 16, 1024, EngineConfig::default(),
+            ).run();
+            let report = ServingReport::from_recorder(&out.recorder);
+            prop_assert_eq!(report.finished_requests, trace.len(), "{} stranded work", sys.name);
+            prop_assert_eq!(out.unfinished, 0);
+            prop_assert_eq!(out.final_kv_free_rate, 1.0, "{} leaked KV", sys.name);
+            let produced: usize =
+                out.recorder.timelines().iter().map(|(_, t)| t.output_tokens).sum();
+            let expected: usize = trace.requests.iter().map(|r| r.output_len).sum();
+            prop_assert_eq!(produced, expected, "{} token count drifted", sys.name);
+        }
+    }
+
+    /// Under a *tiny* KV cache the engine may preempt and recompute, but
+    /// it still must not wedge, leak or abort admissible requests.
+    #[test]
+    fn tiny_kv_cache_still_drains(
+        mut trace in arb_trace(),
+        blocks in 8usize..24,
+    ) {
+        // Keep every request individually admissible.
+        let cap = blocks * 16;
+        for r in trace.requests.iter_mut() {
+            r.prompt_len = r.prompt_len.min(cap / 4).max(1);
+            r.output_len = r.output_len.min(cap / 8).max(1);
+        }
+        let sys = SystemConfig::vllm();
+        let policy = sys.policy.build();
+        let out = SimEngine::new(
+            &trace, policy.as_ref(), exec(2), RuntimeModel::vllm(),
+            blocks, 16, 1024, EngineConfig::default(),
+        ).run();
+        let report = ServingReport::from_recorder(&out.recorder);
+        prop_assert_eq!(report.finished_requests + out.aborted, trace.len());
+        prop_assert_eq!(out.unfinished, 0);
+        prop_assert_eq!(out.final_kv_free_rate, 1.0);
+    }
+
+    /// Determinism: identical inputs give bit-identical results, and CPP
+    /// never changes *what* is produced (only when).
+    #[test]
+    fn runs_are_deterministic_and_cpp_conserves_tokens(trace in arb_trace()) {
+        let sys = SystemConfig::gllm();
+        let run = |cpp: bool| {
+            let policy = sys.policy.build();
+            SimEngine::new(
+                &trace, policy.as_ref(), exec(4), RuntimeModel::gllm(),
+                4096, 16, 1024,
+                EngineConfig { enable_cpp: cpp, ..Default::default() },
+            ).run()
+        };
+        let a = run(false);
+        let b = run(false);
+        prop_assert_eq!(
+            ServingReport::from_recorder(&a.recorder),
+            ServingReport::from_recorder(&b.recorder)
+        );
+        let c = run(true);
+        let count = |o: &gllm_sim::engine::SimOutput| -> usize {
+            o.recorder.timelines().iter().map(|(_, t)| t.output_tokens).sum()
+        };
+        prop_assert_eq!(count(&a), count(&c));
+        prop_assert_eq!(ServingReport::from_recorder(&c.recorder).finished_requests, trace.len());
+    }
+}

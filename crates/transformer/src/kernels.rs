@@ -1,0 +1,170 @@
+//! Dense CPU kernels.
+//!
+//! All kernels use fixed, sequential accumulation order so results are
+//! bit-reproducible regardless of batch composition. Parallelism is applied
+//! one level up (across sequences), never inside a reduction.
+
+/// `y = W x` where `W` is `rows × cols` row-major and `x` has `cols`
+/// elements. `y` must have `rows` elements.
+pub fn matvec(w: &[f32], x: &[f32], y: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    assert_eq!(x.len(), cols, "input length mismatch");
+    assert_eq!(y.len(), rows, "output length mismatch");
+    for (r, out) in y.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (a, b) in row.iter().zip(x.iter()) {
+            acc += a * b;
+        }
+        *out = acc;
+    }
+}
+
+/// RMSNorm: `x_i ← x_i / rms(x) · g_i` with `rms(x) = sqrt(mean(x²) + ε)`.
+pub fn rmsnorm(x: &mut [f32], gain: &[f32], eps: f32) {
+    assert_eq!(x.len(), gain.len());
+    let ss: f32 = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ss + eps).sqrt();
+    for (v, g) in x.iter_mut().zip(gain.iter()) {
+        *v *= inv * g;
+    }
+}
+
+/// Numerically stable in-place softmax.
+pub fn softmax(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in x.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// SiLU activation: `x · σ(x)`.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Apply rotary position embeddings in-place to one head-sized slice at
+/// sequence position `pos`. Pairs `(2i, 2i+1)` rotate with angle
+/// `pos · θ^(−2i/d)` (θ = 10000).
+pub fn rope(head: &mut [f32], pos: usize) {
+    let d = head.len();
+    debug_assert!(d % 2 == 0, "head dim must be even for RoPE");
+    for i in 0..d / 2 {
+        let freq = 1.0 / 10000f32.powf(2.0 * i as f32 / d as f32);
+        let angle = pos as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        let a = head[2 * i];
+        let b = head[2 * i + 1];
+        head[2 * i] = a * cos - b * sin;
+        head[2 * i + 1] = a * sin + b * cos;
+    }
+}
+
+/// `acc += x` elementwise (residual connection).
+pub fn add_assign(acc: &mut [f32], x: &[f32]) {
+    assert_eq!(acc.len(), x.len());
+    for (a, b) in acc.iter_mut().zip(x.iter()) {
+        *a += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let mut w = vec![0.0; 9];
+        for i in 0..3 {
+            w[i * 3 + i] = 1.0;
+        }
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        matvec(&w, &x, &mut y, 3, 3);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        // [[1,2],[3,4]] · [5,6] = [17, 39]
+        let w = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 2];
+        matvec(&w, &[5.0, 6.0], &mut y, 2, 2);
+        assert_eq!(y, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn rmsnorm_produces_unit_rms() {
+        let mut x = vec![3.0, -4.0, 12.0, 0.0];
+        let gain = vec![1.0; 4];
+        rmsnorm(&mut x, &gain, 1e-6);
+        let rms: f32 = (x.iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable_for_large_inputs() {
+        let mut x = vec![1000.0, 1001.0, 1002.0];
+        softmax(&mut x);
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn silu_fixed_points() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!((silu(10.0) - 10.0).abs() < 1e-3, "saturates to identity");
+        assert!(silu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_is_position_dependent() {
+        let orig = vec![1.0f32, 0.5, -0.3, 0.8];
+        let mut a = orig.clone();
+        rope(&mut a, 0);
+        // Position 0 rotates by angle 0 → unchanged.
+        assert_eq!(a, orig);
+        let mut b = orig.clone();
+        rope(&mut b, 7);
+        assert_ne!(b, orig);
+        let n0: f32 = orig.iter().map(|v| v * v).sum();
+        let n7: f32 = b.iter().map(|v| v * v).sum();
+        assert!((n0 - n7).abs() < 1e-5, "rotation preserves norm");
+    }
+
+    #[test]
+    fn rope_relative_rotation_composes() {
+        // Rotating the same vector to positions p and q differs by the
+        // rotation of (q − p) applied in the same basis: check via dot
+        // products (relative-position property RoPE is designed for).
+        let q = vec![0.3f32, -0.7, 1.1, 0.2];
+        let k = vec![0.9f32, 0.1, -0.4, 0.5];
+        let dot = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
+        let mut q5 = q.clone();
+        let mut k3 = k.clone();
+        rope(&mut q5, 5);
+        rope(&mut k3, 3);
+        let mut q12 = q.clone();
+        let mut k10 = k.clone();
+        rope(&mut q12, 12);
+        rope(&mut k10, 10);
+        assert!((dot(&q5, &k3) - dot(&q12, &k10)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = vec![1.0, 2.0];
+        add_assign(&mut a, &[0.5, -0.5]);
+        assert_eq!(a, vec![1.5, 1.5]);
+    }
+}

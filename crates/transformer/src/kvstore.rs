@@ -1,0 +1,87 @@
+//! Paged key/value storage.
+//!
+//! The physical tensor behind PagedAttention: per layer, a flat `[total
+//! slots × kv_dim]` array for keys and one for values, indexed by the slot
+//! numbers that `gllm-kvcache`'s page tables hand out. Non-contiguous block
+//! assignment is exactly what the paging tests exercise.
+
+/// Flat paged K/V arrays for the layers one pipeline stage owns.
+#[derive(Debug, Clone)]
+pub struct PagedKvStore {
+    keys: Vec<Vec<f32>>,
+    values: Vec<Vec<f32>>,
+    kv_dim: usize,
+    num_slots: usize,
+}
+
+impl PagedKvStore {
+    /// Storage for `num_layers` layers × `num_slots` token slots of
+    /// `kv_dim`-wide keys and values.
+    pub fn new(num_layers: usize, num_slots: usize, kv_dim: usize) -> Self {
+        Self {
+            keys: vec![vec![0.0; num_slots * kv_dim]; num_layers],
+            values: vec![vec![0.0; num_slots * kv_dim]; num_layers],
+            kv_dim,
+            num_slots,
+        }
+    }
+
+    /// Token capacity (slots).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// KV width.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// Write one token's key and value into `slot` of `layer` (layer index
+    /// is stage-local).
+    pub fn write(&mut self, layer: usize, slot: usize, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.kv_dim);
+        assert_eq!(value.len(), self.kv_dim);
+        assert!(slot < self.num_slots, "slot {slot} out of range");
+        let at = slot * self.kv_dim;
+        self.keys[layer][at..at + self.kv_dim].copy_from_slice(key);
+        self.values[layer][at..at + self.kv_dim].copy_from_slice(value);
+    }
+
+    /// Read one token's key.
+    pub fn key(&self, layer: usize, slot: usize) -> &[f32] {
+        let at = slot * self.kv_dim;
+        &self.keys[layer][at..at + self.kv_dim]
+    }
+
+    /// Read one token's value.
+    pub fn value(&self, layer: usize, slot: usize) -> &[f32] {
+        let at = slot * self.kv_dim;
+        &self.values[layer][at..at + self.kv_dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_noncontiguous_slots() {
+        let mut s = PagedKvStore::new(2, 8, 4);
+        let k = vec![1.0, 2.0, 3.0, 4.0];
+        let v = vec![5.0, 6.0, 7.0, 8.0];
+        s.write(1, 6, &k, &v);
+        s.write(1, 0, &v, &k);
+        assert_eq!(s.key(1, 6), &k[..]);
+        assert_eq!(s.value(1, 6), &v[..]);
+        assert_eq!(s.key(1, 0), &v[..]);
+        // Other layers untouched.
+        assert_eq!(s.key(0, 6), &[0.0; 4][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_slot() {
+        let mut s = PagedKvStore::new(1, 4, 2);
+        s.write(0, 4, &[0.0, 0.0], &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! An executable CPU decoder-only transformer with paged-KV grouped-query
+//! attention.
+//!
+//! The paper's Table 1 argument is functional: gLLM's scheduling (chunked
+//! prefill, hybrid batching, Token Throttling) must not change model
+//! outputs. With no GPUs available, this crate provides a *real* — if small
+//! — transformer that executes forward passes on the CPU so that claim can
+//! be verified end-to-end: RMSNorm, rotary position embeddings,
+//! grouped-query attention reading/writing a **paged** KV store indexed by
+//! `gllm-kvcache` page tables, SwiGLU MLPs and an LM head with greedy /
+//! top-k / nucleus sampling.
+//!
+//! Design properties the tests rely on:
+//!
+//! * **Determinism / batch invariance** — each sequence's computation is
+//!   independent (per-sequence attention, fixed accumulation order), so the
+//!   composition of a micro-batch cannot perturb results; chunked prefill
+//!   equals whole-prompt prefill bit-for-bit.
+//! * **Partition invariance** — weights are derived per layer index from a
+//!   master seed, so a 4-stage pipeline instantiates the *same model* as a
+//!   single stage, and pipelined execution must reproduce single-process
+//!   outputs exactly.
+//! * **Parallelism** — rayon parallelises across the sequences of a batch
+//!   (the axis real engines batch over), per the HPC guide's
+//!   "par_iter over the data" idiom.
+
+pub mod causal_lm;
+pub mod kernels;
+pub mod kvstore;
+pub mod model;
+pub mod sampler;
+pub mod weights;
+
+pub use causal_lm::CausalLM;
+pub use kvstore::PagedKvStore;
+pub use model::{BatchChunk, StageModel};
+pub use sampler::{sample, SamplingParams};

@@ -1,0 +1,418 @@
+//! One pipeline stage of the transformer.
+//!
+//! A [`StageModel`] owns a contiguous range of decoder layers (plus the
+//! embedding table on the first stage and the final-norm/LM-head on the
+//! last), and the paged KV storage for exactly those layers — mirroring how
+//! the paper's workers each hold their stage's weights and KV while sharing
+//! the driver's unified page tables.
+//!
+//! `forward` processes a micro-batch of [`BatchChunk`]s (prefill chunks
+//! and/or decode steps). Within a layer, computation is parallelised with
+//! rayon **across chunks** — each sequence's arithmetic is self-contained
+//! with a fixed accumulation order, so batching and parallelism cannot
+//! change results.
+
+use std::ops::Range;
+
+use gllm_kvcache::PageTable;
+use gllm_model::ModelConfig;
+use rayon::prelude::*;
+
+use crate::kernels::{add_assign, matvec, rmsnorm, rope, silu, softmax};
+use crate::kvstore::PagedKvStore;
+use crate::weights::{
+    gen_embedding, gen_final_norm, gen_layer, gen_lm_head, LayerWeights,
+};
+
+/// RMSNorm epsilon (Llama/Qwen convention).
+const NORM_EPS: f32 = 1e-5;
+
+/// One sequence's slice of a micro-batch.
+#[derive(Debug, Clone)]
+pub struct BatchChunk {
+    /// Sequence id (for diagnostics; the page table is passed alongside).
+    pub seq: u64,
+    /// Global position of the first new token.
+    pub start_pos: usize,
+    /// New token ids (1 for a decode step, the chunk for a prefill).
+    pub tokens: Vec<u32>,
+    /// Whether to produce logits for the chunk's last token.
+    pub sample: bool,
+}
+
+/// A contiguous range of decoder layers plus optional ends of the model.
+pub struct StageModel {
+    cfg: ModelConfig,
+    layer_range: Range<usize>,
+    layers: Vec<LayerWeights>,
+    embedding: Option<Vec<f32>>,
+    final_norm: Option<Vec<f32>>,
+    lm_head: Option<Vec<f32>>,
+    kv: PagedKvStore,
+}
+
+impl StageModel {
+    /// Build the stage holding `layer_range` of `cfg`, with KV capacity
+    /// `kv_slots` tokens. Weights derive from `seed` per absolute layer
+    /// index, so any partitioning of the same `(cfg, seed)` pair is the
+    /// same model. `is_first`/`is_last` attach the embedding / LM head.
+    pub fn new(
+        cfg: ModelConfig,
+        layer_range: Range<usize>,
+        kv_slots: usize,
+        seed: u64,
+        is_first: bool,
+        is_last: bool,
+    ) -> Self {
+        assert!(layer_range.end <= cfg.num_layers);
+        let layers = layer_range.clone().map(|l| gen_layer(&cfg, seed, l)).collect();
+        Self {
+            embedding: is_first.then(|| gen_embedding(&cfg, seed)),
+            final_norm: is_last.then(|| gen_final_norm(&cfg, seed)),
+            lm_head: is_last.then(|| gen_lm_head(&cfg, seed)),
+            kv: PagedKvStore::new(layer_range.len(), kv_slots, cfg.kv_dim()),
+            cfg,
+            layer_range,
+            layers,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The absolute layer range this stage owns.
+    pub fn layer_range(&self) -> Range<usize> {
+        self.layer_range.clone()
+    }
+
+    /// Embed a micro-batch's token ids into hidden rows (first stage only).
+    /// Returns one `tokens × hidden` buffer per chunk.
+    pub fn embed(&self, chunks: &[BatchChunk]) -> Vec<Vec<f32>> {
+        let table = self.embedding.as_ref().expect("embed on a non-first stage");
+        let h = self.cfg.hidden_size;
+        chunks
+            .par_iter()
+            .map(|c| {
+                let mut rows = Vec::with_capacity(c.tokens.len() * h);
+                for &tok in &c.tokens {
+                    let tok = tok as usize;
+                    assert!(tok < self.cfg.vocab_size, "token id {tok} out of vocab");
+                    rows.extend_from_slice(&table[tok * h..(tok + 1) * h]);
+                }
+                rows
+            })
+            .collect()
+    }
+
+    /// Run this stage's decoder layers over the micro-batch, mutating the
+    /// hidden rows in place. `tables[i]` is chunk `i`'s page table and must
+    /// already cover `start_pos + tokens.len()` slots.
+    pub fn forward(&mut self, chunks: &[BatchChunk], tables: &[&PageTable], hidden: &mut [Vec<f32>]) {
+        assert_eq!(chunks.len(), tables.len());
+        assert_eq!(chunks.len(), hidden.len());
+        let cfg = self.cfg.clone();
+        for local in 0..self.layers.len() {
+            // Phase 1 (parallel): project new tokens to Q/K/V and apply RoPE.
+            let layer = &self.layers[local];
+            let qkv: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = chunks
+                .par_iter()
+                .zip(hidden.par_iter())
+                .map(|(c, hrows)| project_qkv(&cfg, layer, c, hrows))
+                .collect();
+
+            // Phase 2 (sequential): write new K/V into the paged store.
+            for (ci, c) in chunks.iter().enumerate() {
+                let (_, k, v) = &qkv[ci];
+                for (ti, _) in c.tokens.iter().enumerate() {
+                    let slot = tables[ci].slot_of(c.start_pos + ti);
+                    let at = ti * cfg.kv_dim();
+                    self.kv.write(
+                        local,
+                        slot,
+                        &k[at..at + cfg.kv_dim()],
+                        &v[at..at + cfg.kv_dim()],
+                    );
+                }
+            }
+
+            // Phase 3 (parallel): attention + output projection + MLP.
+            let kv = &self.kv;
+            let layer = &self.layers[local];
+            chunks
+                .par_iter()
+                .zip(tables.par_iter())
+                .zip(hidden.par_iter_mut())
+                .enumerate()
+                .for_each(|(ci, ((c, table), hrows))| {
+                    attend_and_mlp(&cfg, layer, kv, local, c, table, &qkv[ci].0, hrows);
+                });
+        }
+    }
+
+    /// Final norm + LM head for every chunk with `sample == true` (last
+    /// stage only). Returns `(seq, logits)` in chunk order.
+    pub fn project(&self, chunks: &[BatchChunk], hidden: &[Vec<f32>]) -> Vec<(u64, Vec<f32>)> {
+        let norm = self.final_norm.as_ref().expect("project on a non-last stage");
+        let head = self.lm_head.as_ref().expect("project on a non-last stage");
+        let h = self.cfg.hidden_size;
+        let v = self.cfg.vocab_size;
+        chunks
+            .par_iter()
+            .zip(hidden.par_iter())
+            .filter(|(c, _)| c.sample)
+            .map(|(c, hrows)| {
+                let last = &hrows[(c.tokens.len() - 1) * h..c.tokens.len() * h];
+                let mut x = last.to_vec();
+                rmsnorm(&mut x, norm, NORM_EPS);
+                let mut logits = vec![0.0f32; v];
+                matvec(head, &x, &mut logits, v, h);
+                (c.seq, logits)
+            })
+            .collect()
+    }
+}
+
+/// Project one chunk's hidden rows to (roped Q, roped K, V).
+fn project_qkv(
+    cfg: &ModelConfig,
+    layer: &LayerWeights,
+    c: &BatchChunk,
+    hrows: &[f32],
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let h = cfg.hidden_size;
+    let qd = cfg.q_dim();
+    let kvd = cfg.kv_dim();
+    let hd = cfg.head_dim;
+    let n = c.tokens.len();
+    let mut q = vec![0.0f32; n * qd];
+    let mut k = vec![0.0f32; n * kvd];
+    let mut v = vec![0.0f32; n * kvd];
+    let mut normed = vec![0.0f32; h];
+    for t in 0..n {
+        normed.copy_from_slice(&hrows[t * h..(t + 1) * h]);
+        rmsnorm(&mut normed, &layer.attn_norm, NORM_EPS);
+        matvec(&layer.wq, &normed, &mut q[t * qd..(t + 1) * qd], qd, h);
+        matvec(&layer.wk, &normed, &mut k[t * kvd..(t + 1) * kvd], kvd, h);
+        matvec(&layer.wv, &normed, &mut v[t * kvd..(t + 1) * kvd], kvd, h);
+        let pos = c.start_pos + t;
+        for head in 0..cfg.num_heads {
+            rope(&mut q[t * qd + head * hd..t * qd + (head + 1) * hd], pos);
+        }
+        for head in 0..cfg.num_kv_heads {
+            rope(&mut k[t * kvd + head * hd..t * kvd + (head + 1) * hd], pos);
+        }
+    }
+    (q, k, v)
+}
+
+/// Grouped-query attention over the paged store, output projection,
+/// residuals and the SwiGLU MLP for one chunk. Mutates the hidden rows.
+#[allow(clippy::too_many_arguments)]
+fn attend_and_mlp(
+    cfg: &ModelConfig,
+    layer: &LayerWeights,
+    kv: &PagedKvStore,
+    local_layer: usize,
+    c: &BatchChunk,
+    table: &PageTable,
+    q: &[f32],
+    hrows: &mut [f32],
+) {
+    let h = cfg.hidden_size;
+    let qd = cfg.q_dim();
+    let hd = cfg.head_dim;
+    let group = cfg.num_heads / cfg.num_kv_heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+
+    let mut attn_out = vec![0.0f32; qd];
+    let mut proj = vec![0.0f32; h];
+    for t in 0..c.tokens.len() {
+        let pos = c.start_pos + t;
+        let ctx = pos + 1; // causal: attend to positions 0..=pos
+        attn_out.iter_mut().for_each(|x| *x = 0.0);
+        for head in 0..cfg.num_heads {
+            let kvh = head / group;
+            let qh = &q[t * qd + head * hd..t * qd + (head + 1) * hd];
+            let mut scores = vec![0.0f32; ctx];
+            for (j, s) in scores.iter_mut().enumerate() {
+                let key = kv.key(local_layer, table.slot_of(j));
+                let kh = &key[kvh * hd..(kvh + 1) * hd];
+                let mut dot = 0.0f32;
+                for (a, b) in qh.iter().zip(kh.iter()) {
+                    dot += a * b;
+                }
+                *s = dot * scale;
+            }
+            softmax(&mut scores);
+            let out = &mut attn_out[head * hd..(head + 1) * hd];
+            for (j, &p) in scores.iter().enumerate() {
+                let val = kv.value(local_layer, table.slot_of(j));
+                let vh = &val[kvh * hd..(kvh + 1) * hd];
+                for (o, &x) in out.iter_mut().zip(vh.iter()) {
+                    *o += p * x;
+                }
+            }
+        }
+        matvec(&layer.wo, &attn_out, &mut proj, h, qd);
+        let row = &mut hrows[t * h..(t + 1) * h];
+        add_assign(row, &proj);
+
+        // SwiGLU MLP with pre-norm and residual.
+        let mut normed = row.to_vec();
+        rmsnorm(&mut normed, &layer.mlp_norm, NORM_EPS);
+        let i = cfg.intermediate_size;
+        let mut gate = vec![0.0f32; i];
+        let mut up = vec![0.0f32; i];
+        matvec(&layer.w_gate, &normed, &mut gate, i, h);
+        matvec(&layer.w_up, &normed, &mut up, i, h);
+        for (g, u) in gate.iter_mut().zip(up.iter()) {
+            *g = silu(*g) * u;
+        }
+        matvec(&layer.w_down, &gate, &mut proj, h, i);
+        add_assign(row, &proj);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gllm_kvcache::KvCacheManager;
+
+    fn tiny_stage(kv_slots: usize) -> StageModel {
+        let cfg = ModelConfig::tiny();
+        StageModel::new(cfg.clone(), 0..cfg.num_layers, kv_slots, 7, true, true)
+    }
+
+    fn run_prompt(stage: &mut StageModel, kvm: &mut KvCacheManager, seq: u64, prompt: &[u32]) -> Vec<f32> {
+        kvm.append(seq, prompt.len()).unwrap();
+        let chunk = BatchChunk { seq, start_pos: 0, tokens: prompt.to_vec(), sample: true };
+        let table = kvm.table(seq).unwrap();
+        let mut hidden = stage.embed(std::slice::from_ref(&chunk));
+        // Cloning the table is fine: slots were assigned at append time.
+        let t = table.clone();
+        stage.forward(std::slice::from_ref(&chunk), &[&t], &mut hidden);
+        stage.project(std::slice::from_ref(&chunk), &hidden).remove(0).1
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mut kvm = KvCacheManager::new(16, 4);
+        let mut s1 = tiny_stage(64);
+        let a = run_prompt(&mut s1, &mut kvm, 1, &[3, 5, 7]);
+        let mut kvm2 = KvCacheManager::new(16, 4);
+        let mut s2 = tiny_stage(64);
+        let b = run_prompt(&mut s2, &mut kvm2, 1, &[3, 5, 7]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_prompts_give_different_logits() {
+        let mut kvm = KvCacheManager::new(32, 4);
+        let mut s = tiny_stage(128);
+        let a = run_prompt(&mut s, &mut kvm, 1, &[3, 5, 7]);
+        let b = run_prompt(&mut s, &mut kvm, 2, &[3, 5, 8]);
+        assert_ne!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn chunked_prefill_matches_whole_prefill_bitexact() {
+        let prompt: Vec<u32> = vec![9, 2, 250, 17, 4, 99, 31, 8];
+        // Whole prefill.
+        let mut kvm_a = KvCacheManager::new(32, 4);
+        let mut sa = tiny_stage(128);
+        let whole = run_prompt(&mut sa, &mut kvm_a, 1, &prompt);
+        // Chunked prefill: 3 + 5 tokens.
+        let mut kvm_b = KvCacheManager::new(32, 4);
+        let mut sb = tiny_stage(128);
+        kvm_b.append(1, 3).unwrap();
+        let c1 = BatchChunk { seq: 1, start_pos: 0, tokens: prompt[..3].to_vec(), sample: false };
+        let t1 = kvm_b.table(1).unwrap().clone();
+        let mut h1 = sb.embed(std::slice::from_ref(&c1));
+        sb.forward(std::slice::from_ref(&c1), &[&t1], &mut h1);
+        kvm_b.append(1, 5).unwrap();
+        let c2 = BatchChunk { seq: 1, start_pos: 3, tokens: prompt[3..].to_vec(), sample: true };
+        let t2 = kvm_b.table(1).unwrap().clone();
+        let mut h2 = sb.embed(std::slice::from_ref(&c2));
+        sb.forward(std::slice::from_ref(&c2), &[&t2], &mut h2);
+        let chunked = sb.project(std::slice::from_ref(&c2), &h2).remove(0).1;
+        assert_eq!(whole, chunked, "chunking changed the logits");
+    }
+
+    #[test]
+    fn batched_execution_matches_sequential_bitexact() {
+        // Two sequences in one micro-batch vs two separate passes.
+        let p1: Vec<u32> = vec![1, 2, 3, 4];
+        let p2: Vec<u32> = vec![200, 100, 50];
+        let mut kvm = KvCacheManager::new(64, 4);
+        let mut s = tiny_stage(256);
+        kvm.append(1, p1.len()).unwrap();
+        kvm.append(2, p2.len()).unwrap();
+        let chunks = vec![
+            BatchChunk { seq: 1, start_pos: 0, tokens: p1.clone(), sample: true },
+            BatchChunk { seq: 2, start_pos: 0, tokens: p2.clone(), sample: true },
+        ];
+        let t1 = kvm.table(1).unwrap().clone();
+        let t2 = kvm.table(2).unwrap().clone();
+        let mut hidden = s.embed(&chunks);
+        s.forward(&chunks, &[&t1, &t2], &mut hidden);
+        let batched = s.project(&chunks, &hidden);
+
+        let mut kvm_a = KvCacheManager::new(64, 4);
+        let mut sa = tiny_stage(256);
+        let solo1 = run_prompt(&mut sa, &mut kvm_a, 1, &p1);
+        let mut kvm_b = KvCacheManager::new(64, 4);
+        let mut sb = tiny_stage(256);
+        let solo2 = run_prompt(&mut sb, &mut kvm_b, 2, &p2);
+
+        assert_eq!(batched[0].1, solo1);
+        assert_eq!(batched[1].1, solo2);
+    }
+
+    #[test]
+    fn pipelined_stages_match_single_stage_bitexact() {
+        let cfg = ModelConfig::tiny();
+        let prompt: Vec<u32> = vec![11, 22, 33, 44, 55];
+        // Single stage.
+        let mut kvm = KvCacheManager::new(32, 4);
+        let mut whole = tiny_stage(128);
+        let expected = run_prompt(&mut whole, &mut kvm, 1, &prompt);
+        // Two stages: layers 0..2 and 2..4.
+        let mut s0 = StageModel::new(cfg.clone(), 0..2, 128, 7, true, false);
+        let mut s1 = StageModel::new(cfg.clone(), 2..4, 128, 7, false, true);
+        let mut kvm2 = KvCacheManager::new(32, 4);
+        kvm2.append(1, prompt.len()).unwrap();
+        let chunk = BatchChunk { seq: 1, start_pos: 0, tokens: prompt.clone(), sample: true };
+        let t = kvm2.table(1).unwrap().clone();
+        let mut hidden = s0.embed(std::slice::from_ref(&chunk));
+        s0.forward(std::slice::from_ref(&chunk), &[&t], &mut hidden);
+        s1.forward(std::slice::from_ref(&chunk), &[&t], &mut hidden);
+        let got = s1.project(std::slice::from_ref(&chunk), &hidden).remove(0).1;
+        assert_eq!(expected, got, "pipelining changed the logits");
+    }
+
+    #[test]
+    fn paged_noncontiguous_blocks_do_not_change_results() {
+        // Fragment the allocator so sequence 2's blocks are non-adjacent,
+        // then check logits match a fresh contiguous run.
+        let prompt: Vec<u32> = vec![7, 8, 9, 10, 11, 12];
+        let mut kvm = KvCacheManager::new(16, 2);
+        let mut s = tiny_stage(32);
+        kvm.append(10, 2).unwrap(); // occupy block 0
+        kvm.append(11, 2).unwrap(); // occupy block 1
+        kvm.free(10).unwrap(); // hole at block 0
+        kvm.append(2, prompt.len()).unwrap(); // spans hole + tail blocks
+        let chunk = BatchChunk { seq: 2, start_pos: 0, tokens: prompt.clone(), sample: true };
+        let t = kvm.table(2).unwrap().clone();
+        let mut hidden = s.embed(std::slice::from_ref(&chunk));
+        s.forward(std::slice::from_ref(&chunk), &[&t], &mut hidden);
+        let frag = s.project(std::slice::from_ref(&chunk), &hidden).remove(0).1;
+
+        let mut kvm2 = KvCacheManager::new(16, 2);
+        let mut s2 = tiny_stage(32);
+        let contiguous = run_prompt(&mut s2, &mut kvm2, 2, &prompt);
+        assert_eq!(frag, contiguous, "paging layout leaked into results");
+    }
+}

@@ -1,0 +1,165 @@
+//! Token sampling strategies (§2.1: greedy, top-k, nucleus).
+//!
+//! Sampling randomness is derived from `(seed, seq, step)` with splitmix64,
+//! never from a shared RNG stream — so the tokens a sequence samples are
+//! independent of which batch it rode in, preserving the crate's
+//! batch-invariance guarantee even for stochastic decoding.
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingParams {
+    /// Softmax temperature; 0 means greedy argmax.
+    pub temperature: f32,
+    /// Keep only the `top_k` highest-probability tokens (0 = disabled).
+    pub top_k: usize,
+    /// Nucleus sampling mass (1.0 = disabled).
+    pub top_p: f32,
+    /// Master seed for the derived per-token randomness.
+    pub seed: u64,
+}
+
+impl SamplingParams {
+    /// Greedy decoding (deterministic argmax).
+    pub fn greedy() -> Self {
+        Self { temperature: 0.0, top_k: 0, top_p: 1.0, seed: 0 }
+    }
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        Self::greedy()
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform `f64` in `[0, 1)` derived from `(seed, seq, step)`.
+fn derived_uniform(seed: u64, seq: u64, step: usize) -> f64 {
+    let z = splitmix64(seed ^ splitmix64(seq) ^ splitmix64(step as u64).rotate_left(17));
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Greedy argmax with lowest-index tie-breaking.
+pub fn argmax(logits: &[f32]) -> u32 {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Sample the next token from `logits` for `(seq, step)` under `params`.
+pub fn sample(logits: &[f32], params: &SamplingParams, seq: u64, step: usize) -> u32 {
+    if params.temperature <= 0.0 {
+        return argmax(logits);
+    }
+    // Scale, rank, truncate to top-k / top-p, then inverse-CDF sample.
+    let mut items: Vec<(usize, f32)> = logits
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i, v / params.temperature))
+        .collect();
+    items.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite logits").then(a.0.cmp(&b.0)));
+    if params.top_k > 0 {
+        items.truncate(params.top_k);
+    }
+    let max = items[0].1;
+    let mut probs: Vec<f64> = items.iter().map(|&(_, v)| ((v - max) as f64).exp()).collect();
+    let total: f64 = probs.iter().sum();
+    for p in probs.iter_mut() {
+        *p /= total;
+    }
+    if params.top_p < 1.0 {
+        let mut mass = 0.0;
+        let mut keep = probs.len();
+        for (i, &p) in probs.iter().enumerate() {
+            mass += p;
+            if mass >= params.top_p as f64 {
+                keep = i + 1;
+                break;
+            }
+        }
+        probs.truncate(keep);
+        items.truncate(keep);
+        let t: f64 = probs.iter().sum();
+        for p in probs.iter_mut() {
+            *p /= t;
+        }
+    }
+    let u = derived_uniform(params.seed, seq, step);
+    let mut acc = 0.0;
+    for (&(idx, _), &p) in items.iter().zip(probs.iter()) {
+        acc += p;
+        if u < acc {
+            return idx as u32;
+        }
+    }
+    items.last().expect("nonempty distribution").0 as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_picks_argmax_with_lowest_index_ties() {
+        assert_eq!(argmax(&[0.1, 3.0, 3.0, -1.0]), 1);
+        assert_eq!(sample(&[0.1, 3.0, 2.0], &SamplingParams::greedy(), 9, 9), 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seq_and_step() {
+        let p = SamplingParams { temperature: 1.0, top_k: 0, top_p: 1.0, seed: 42 };
+        let logits = vec![1.0, 2.0, 0.5, 1.5];
+        let a = sample(&logits, &p, 7, 3);
+        let b = sample(&logits, &p, 7, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_varies_across_steps_and_sequences() {
+        let p = SamplingParams { temperature: 1.0, top_k: 0, top_p: 1.0, seed: 42 };
+        let logits: Vec<f32> = (0..16).map(|i| ((i * 37) % 11) as f32 / 3.0).collect();
+        let by_step: Vec<u32> = (0..32).map(|s| sample(&logits, &p, 1, s)).collect();
+        let distinct: std::collections::HashSet<_> = by_step.iter().collect();
+        assert!(distinct.len() > 2, "steps should explore the distribution");
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        let p = SamplingParams { temperature: 1.0, top_k: 2, top_p: 1.0, seed: 1 };
+        let logits = vec![5.0, 4.0, -10.0, -10.0];
+        for step in 0..64 {
+            let t = sample(&logits, &p, 3, step);
+            assert!(t <= 1, "token {t} outside top-2");
+        }
+    }
+
+    #[test]
+    fn top_p_restricts_support() {
+        // One token carries ~all mass; nucleus 0.5 keeps only it.
+        let p = SamplingParams { temperature: 1.0, top_k: 0, top_p: 0.5, seed: 1 };
+        let logits = vec![10.0, 0.0, 0.0, 0.0];
+        for step in 0..32 {
+            assert_eq!(sample(&logits, &p, 3, step), 0);
+        }
+    }
+
+    #[test]
+    fn hot_temperature_flattens_distribution() {
+        let cold = SamplingParams { temperature: 0.05, top_k: 0, top_p: 1.0, seed: 5 };
+        let logits = vec![2.0, 1.9, 0.0];
+        // Near-greedy at low temperature.
+        let picks: Vec<u32> = (0..32).map(|s| sample(&logits, &cold, 1, s)).collect();
+        assert!(picks.iter().filter(|&&t| t == 0).count() > 24);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic LLM serving workloads.
+//!
+//! The paper evaluates on two real traces: ShareGPT (user conversations with
+//! ChatGPT) and an Azure LLM-inference production trace, replayed at Poisson
+//! arrival times over a fixed 128-second send window (§4.1 and artifact
+//! appendix). Neither dataset ships with this reproduction, so this crate
+//! synthesizes workloads whose *length marginals* match the paper's
+//! Figure 11: log-normal input/output lengths, with the Azure-like
+//! distribution having 5.21× longer inputs and 1.66× longer outputs on
+//! average than the ShareGPT-like one.
+//!
+//! Everything is seeded and deterministic: the same `(dataset, rate, seed)`
+//! triple always yields the same trace, so comparisons between systems run
+//! on paired workloads.
+
+pub mod arrivals;
+pub mod azure_csv;
+pub mod request;
+pub mod sampler;
+pub mod stats;
+pub mod trace;
+
+pub use arrivals::ArrivalProcess;
+pub use azure_csv::parse_azure_csv;
+pub use request::Request;
+pub use sampler::{Dataset, LengthDistribution};
+pub use stats::{histogram, mean, percentile};
+pub use trace::{Trace, TraceSummary};

@@ -1,0 +1,48 @@
+//! The unit of work: one serving request.
+
+use serde::{Deserialize, Serialize};
+
+/// One LLM serving request: a prompt of `prompt_len` tokens arriving at
+/// `arrival_s`, generating `output_len` tokens before terminating.
+///
+/// The output length is fixed by the trace (as in the paper's replay
+/// methodology, where the benchmark requests exactly the trace's output
+/// size); the serving system does not know it in advance and discovers
+/// termination one token at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique, dense request id (also used as the KV sequence id).
+    pub id: u64,
+    /// Arrival time in seconds from the start of the experiment.
+    pub arrival_s: f64,
+    /// Prompt length in tokens (≥ 1).
+    pub prompt_len: usize,
+    /// Number of output tokens to generate (≥ 1; the first is produced by
+    /// the prefill's final chunk).
+    pub output_len: usize,
+}
+
+impl Request {
+    /// Total tokens this request will ever put in the KV cache.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt_len + self.output_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_tokens_adds_prompt_and_output() {
+        let r = Request { id: 0, arrival_s: 0.0, prompt_len: 10, output_len: 5 };
+        assert_eq!(r.total_tokens(), 15);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = Request { id: 3, arrival_s: 1.25, prompt_len: 7, output_len: 9 };
+        let s = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<Request>(&s).unwrap(), r);
+    }
+}

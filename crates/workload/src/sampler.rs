@@ -1,0 +1,217 @@
+//! Length distributions fit to the paper's Figure 11.
+//!
+//! Real ShareGPT and Azure traces are unavailable offline, so input/output
+//! lengths are drawn from truncated log-normal distributions — the standard
+//! parametric family for LLM request lengths — calibrated so that the
+//! Azure-like dataset's mean input is ≈5.21× and mean output ≈1.66× the
+//! ShareGPT-like dataset's, the exact ratios the paper reports for its
+//! sampled datasets.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A truncated length distribution over token counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LengthDistribution {
+    /// Log-normal with location `mu` and scale `sigma`, clamped to
+    /// `[min, max]`.
+    LogNormal {
+        /// Location parameter (of the underlying normal).
+        mu: f64,
+        /// Scale parameter (of the underlying normal).
+        sigma: f64,
+        /// Minimum length after clamping.
+        min: usize,
+        /// Maximum length after clamping.
+        max: usize,
+    },
+    /// Every request has exactly this length (for controlled experiments).
+    Fixed(usize),
+    /// Uniform over `[min, max]` inclusive.
+    Uniform {
+        /// Lower bound.
+        min: usize,
+        /// Upper bound (inclusive).
+        max: usize,
+    },
+}
+
+impl LengthDistribution {
+    /// Draw one length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match *self {
+            LengthDistribution::LogNormal { mu, sigma, min, max } => {
+                let d = LogNormal::new(mu, sigma).expect("sigma > 0");
+                (d.sample(rng).round() as usize).clamp(min, max)
+            }
+            LengthDistribution::Fixed(n) => n,
+            LengthDistribution::Uniform { min, max } => rng.gen_range(min..=max),
+        }
+    }
+
+    /// The distribution's support maximum (used for capacity sanity checks).
+    pub fn max_len(&self) -> usize {
+        match *self {
+            LengthDistribution::LogNormal { max, .. } => max,
+            LengthDistribution::Fixed(n) => n,
+            LengthDistribution::Uniform { max, .. } => max,
+        }
+    }
+}
+
+/// The two datasets the paper replays, plus a fixed-shape control and a
+/// fully custom variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dataset {
+    /// ShareGPT-like: short chatty prompts, moderate outputs.
+    ShareGpt,
+    /// Azure-like: production trace with 5.21× longer inputs and 1.66×
+    /// longer outputs than ShareGPT (paper §4.1, Fig. 11).
+    Azure,
+    /// Fixed prompt/output lengths (controlled experiments and tests).
+    Fixed {
+        /// Prompt length of every request.
+        prompt: usize,
+        /// Output length of every request.
+        output: usize,
+    },
+    /// Arbitrary user-supplied length distributions (extension studies,
+    /// e.g. long-context workloads).
+    Custom {
+        /// Prompt length distribution.
+        input: LengthDistribution,
+        /// Output length distribution.
+        output: LengthDistribution,
+    },
+}
+
+impl Dataset {
+    /// Input (prompt) length distribution.
+    pub fn input_distribution(&self) -> LengthDistribution {
+        match *self {
+            // Mean ≈ 220 tokens.
+            Dataset::ShareGpt => LengthDistribution::LogNormal {
+                mu: 4.89,
+                sigma: 1.0,
+                min: 4,
+                max: 4096,
+            },
+            // Mean ≈ 5.21 × ShareGPT.
+            Dataset::Azure => LengthDistribution::LogNormal {
+                mu: 6.60,
+                sigma: 0.95,
+                min: 16,
+                max: 8192,
+            },
+            Dataset::Fixed { prompt, .. } => LengthDistribution::Fixed(prompt),
+            Dataset::Custom { input, .. } => input,
+        }
+    }
+
+    /// Output length distribution.
+    pub fn output_distribution(&self) -> LengthDistribution {
+        match *self {
+            // Mean ≈ 180 tokens.
+            Dataset::ShareGpt => LengthDistribution::LogNormal {
+                mu: 4.87,
+                sigma: 0.8,
+                min: 2,
+                max: 2048,
+            },
+            // Mean ≈ 1.66 × ShareGPT.
+            Dataset::Azure => LengthDistribution::LogNormal {
+                mu: 5.45,
+                sigma: 0.7,
+                min: 2,
+                max: 2048,
+            },
+            Dataset::Fixed { output, .. } => LengthDistribution::Fixed(output),
+            Dataset::Custom { output, .. } => output,
+        }
+    }
+
+    /// Short name used in bench output rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::ShareGpt => "sharegpt",
+            Dataset::Azure => "azure",
+            Dataset::Fixed { .. } => "fixed",
+            Dataset::Custom { .. } => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean(d: LengthDistribution, seed: u64, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn sharegpt_means_are_chat_scale() {
+        let input = empirical_mean(Dataset::ShareGpt.input_distribution(), 1, 50_000);
+        let output = empirical_mean(Dataset::ShareGpt.output_distribution(), 2, 50_000);
+        assert!((120.0..350.0).contains(&input), "input mean {input}");
+        assert!((120.0..280.0).contains(&output), "output mean {output}");
+    }
+
+    #[test]
+    fn azure_ratios_match_paper() {
+        // Paper: Azure has 5.21× longer inputs and 1.66× longer outputs.
+        let si = empirical_mean(Dataset::ShareGpt.input_distribution(), 3, 50_000);
+        let ai = empirical_mean(Dataset::Azure.input_distribution(), 4, 50_000);
+        let so = empirical_mean(Dataset::ShareGpt.output_distribution(), 5, 50_000);
+        let ao = empirical_mean(Dataset::Azure.output_distribution(), 6, 50_000);
+        let in_ratio = ai / si;
+        let out_ratio = ao / so;
+        assert!((4.2..6.2).contains(&in_ratio), "input ratio {in_ratio}");
+        assert!((1.3..2.0).contains(&out_ratio), "output ratio {out_ratio}");
+    }
+
+    #[test]
+    fn samples_respect_truncation() {
+        let d = Dataset::Azure.input_distribution();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((16..=8192).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fixed_dataset_is_degenerate() {
+        let d = Dataset::Fixed { prompt: 100, output: 20 };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.input_distribution().sample(&mut rng), 100);
+        assert_eq!(d.output_distribution().sample(&mut rng), 20);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let d = LengthDistribution::Uniform { min: 5, max: 9 };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!((5..=9).contains(&d.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Dataset::ShareGpt.input_distribution();
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

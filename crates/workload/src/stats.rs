@@ -1,0 +1,82 @@
+//! Small statistics helpers shared by the workload and bench crates.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Linear-interpolated percentile `p ∈ [0, 100]`; 0 for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric data"));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Histogram of `values` over `bins` equal-width buckets spanning
+/// `[min, max)`; values outside the range clamp to the edge buckets.
+/// Returns `(bucket_lower_edges, counts)`.
+pub fn histogram(values: &[usize], bins: usize, min: usize, max: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(bins > 0 && max > min);
+    let width = (max - min) as f64 / bins as f64;
+    let edges: Vec<f64> = (0..bins).map(|i| min as f64 + i as f64 * width).collect();
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let idx = (((v.saturating_sub(min)) as f64 / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), 2.5);
+    }
+
+    #[test]
+    fn histogram_counts_everything_once() {
+        let vals = [0usize, 5, 10, 99, 100, 250];
+        let (edges, counts) = histogram(&vals, 10, 0, 100);
+        assert_eq!(edges.len(), 10);
+        assert_eq!(counts.iter().sum::<usize>(), vals.len());
+        // 100 and 250 clamp into the last bucket.
+        assert_eq!(counts[9], 3);
+    }
+}

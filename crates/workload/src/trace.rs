@@ -1,0 +1,180 @@
+//! Trace synthesis and serialisation.
+//!
+//! A [`Trace`] is the full input to one serving experiment: a sorted list of
+//! [`Request`]s. The paper's methodology fixes the request-sending duration
+//! at 128 seconds and derives the prompt count from `rate × duration`
+//! (artifact appendix); [`Trace::synthesize`] mirrors that.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::ArrivalProcess;
+use crate::request::Request;
+use crate::sampler::Dataset;
+use crate::stats::mean;
+
+/// The paper's fixed request-sending window (seconds).
+pub const PAPER_SEND_WINDOW_S: f64 = 128.0;
+
+/// A complete, replayable serving workload.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Requests sorted by arrival time, ids dense from 0.
+    pub requests: Vec<Request>,
+}
+
+/// Aggregate statistics of a trace (for Fig. 11-style reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of requests.
+    pub count: usize,
+    /// Mean prompt length (tokens).
+    pub mean_input: f64,
+    /// Mean output length (tokens).
+    pub mean_output: f64,
+    /// Total prompt + output tokens across the trace.
+    pub total_tokens: usize,
+    /// Duration from first to last arrival (seconds).
+    pub span_s: f64,
+}
+
+impl Trace {
+    /// Synthesize a trace: lengths from `dataset`, arrival times from
+    /// `arrivals` over `duration_s`. Fully determined by `seed`.
+    ///
+    /// `expected` bounds the request count for [`ArrivalProcess::Burst`];
+    /// rate-driven processes ignore it.
+    pub fn synthesize(
+        dataset: Dataset,
+        arrivals: ArrivalProcess,
+        duration_s: f64,
+        expected: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let times = arrivals.generate(duration_s, expected, &mut rng);
+        let input = dataset.input_distribution();
+        let output = dataset.output_distribution();
+        let requests = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Request {
+                id: i as u64,
+                arrival_s: t,
+                prompt_len: input.sample(&mut rng),
+                output_len: output.sample(&mut rng),
+            })
+            .collect();
+        Self { requests }
+    }
+
+    /// The paper's standard online workload: Poisson arrivals at `rate`
+    /// req/s over the 128-second send window.
+    pub fn paper_online(dataset: Dataset, rate: f64, seed: u64) -> Self {
+        Self::synthesize(
+            dataset,
+            ArrivalProcess::Poisson { rate },
+            PAPER_SEND_WINDOW_S,
+            0,
+            seed,
+        )
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Aggregate statistics.
+    pub fn summary(&self) -> TraceSummary {
+        let inputs: Vec<f64> = self.requests.iter().map(|r| r.prompt_len as f64).collect();
+        let outputs: Vec<f64> = self.requests.iter().map(|r| r.output_len as f64).collect();
+        let span_s = match (self.requests.first(), self.requests.last()) {
+            (Some(f), Some(l)) => l.arrival_s - f.arrival_s,
+            _ => 0.0,
+        };
+        TraceSummary {
+            count: self.len(),
+            mean_input: mean(&inputs),
+            mean_output: mean(&outputs),
+            total_tokens: self.requests.iter().map(|r| r.total_tokens()).sum(),
+            span_s,
+        }
+    }
+
+    /// Serialise to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialisation cannot fail")
+    }
+
+    /// Deserialise from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = Trace::paper_online(Dataset::ShareGpt, 4.0, 99);
+        let b = Trace::paper_online(Dataset::ShareGpt, 4.0, 99);
+        assert_eq!(a, b);
+        let c = Trace::paper_online(Dataset::ShareGpt, 4.0, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn request_ids_are_dense_and_arrivals_sorted() {
+        let t = Trace::paper_online(Dataset::Azure, 2.0, 1);
+        for (i, r) in t.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        assert!(t.requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+    }
+
+    #[test]
+    fn paper_window_yields_rate_times_duration_requests() {
+        let t = Trace::paper_online(Dataset::ShareGpt, 8.0, 5);
+        let n = t.len() as f64;
+        assert!((850.0..1200.0).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn burst_trace_has_expected_count() {
+        let t = Trace::synthesize(
+            Dataset::Fixed { prompt: 100, output: 10 },
+            ArrivalProcess::Burst,
+            1.0,
+            32,
+            0,
+        );
+        assert_eq!(t.len(), 32);
+        assert!(t.requests.iter().all(|r| r.arrival_s == 0.0));
+        assert_eq!(t.summary().total_tokens, 32 * 110);
+    }
+
+    #[test]
+    fn summary_reflects_dataset_scale() {
+        let s = Trace::paper_online(Dataset::Azure, 4.0, 3).summary();
+        let g = Trace::paper_online(Dataset::ShareGpt, 4.0, 3).summary();
+        assert!(s.mean_input > 3.0 * g.mean_input);
+        assert!(s.mean_output > g.mean_output);
+        assert!(s.span_s <= PAPER_SEND_WINDOW_S);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::paper_online(Dataset::ShareGpt, 1.0, 0);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+}

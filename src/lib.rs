@@ -1,0 +1,29 @@
+//! # gLLM — global balanced pipeline parallelism with Token Throttling
+//!
+//! A from-scratch Rust reproduction of *"gLLM: Global Balanced Pipeline
+//! Parallelism Systems for Distributed LLMs Serving with Token Throttling"*
+//! (SC '25). This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — architecture descriptors, GPU specs and analytic cost models,
+//! * [`kvcache`] — PagedAttention-style block allocator and page tables,
+//! * [`workload`] — ShareGPT/Azure-like synthetic workloads and Poisson arrivals,
+//! * [`metrics`] — TTFT/TPOT/E2EL/throughput/SLO recording,
+//! * [`core`] — the schedulers: Token Throttling and all baselines,
+//! * [`sim`] — the discrete-event cluster simulator (regenerates the paper's figures),
+//! * [`transformer`] — an executable CPU transformer for functional validation,
+//! * [`runtime`] — the threaded asynchronous serving runtime (§3.3),
+//! * [`frontend`] — RESTful OpenAI-compatible API, tokenizer and the
+//!   `gllm` CLI (§3.4).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+
+pub use gllm_core as core;
+pub use gllm_frontend as frontend;
+pub use gllm_kvcache as kvcache;
+pub use gllm_metrics as metrics;
+pub use gllm_model as model;
+pub use gllm_runtime as runtime;
+pub use gllm_sim as sim;
+pub use gllm_transformer as transformer;
+pub use gllm_workload as workload;
