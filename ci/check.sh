@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# The full local gate: build, test, lint. Run from the repo root.
+# Everything is offline (all dependencies are vendored in vendor/).
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

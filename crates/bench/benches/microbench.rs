@@ -53,13 +53,13 @@ fn bench_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler_overhead");
     g.bench_function("token_throttle_view_plus_plan", |b| {
         b.iter(|| {
-            let view = pool.view(kv.free_rate(), kv.free_blocks() * kv.block_size(), 4);
+            let view = pool.view(kv.free_rate(), kv.free_blocks() * kv.block_size(), kv.block_size(), 4);
             black_box(throttle.plan(&view))
         })
     });
     g.bench_function("sarathi_view_plus_plan", |b| {
         b.iter(|| {
-            let view = pool.view(kv.free_rate(), kv.free_blocks() * kv.block_size(), 4);
+            let view = pool.view(kv.free_rate(), kv.free_blocks() * kv.block_size(), kv.block_size(), 4);
             black_box(sarathi.plan(&view))
         })
     });

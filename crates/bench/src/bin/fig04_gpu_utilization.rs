@@ -35,9 +35,27 @@ fn main() {
         0,
         42,
     );
-    let cfg = EngineConfig::default();
+    let mut cfg = EngineConfig::default();
+    cfg.record_pipeline_trace = true;
     let sarathi = run_experiment(&trace, &SystemConfig::vllm(), &deployment, &cfg);
     let gllm = run_experiment(&trace, &SystemConfig::gllm(), &deployment, &cfg);
+
+    // Cross-check the two instrumentation planes: the structured trace's
+    // stage-busy spans must account for the same GPU-seconds the
+    // BusyTracker aggregated (each pipeline stage here is one GPU).
+    let trace_busy = gllm.pipeline_trace.stage_busy_total();
+    let tracker_busy = gllm.mean_utilization * gllm.end_time_s * 4.0;
+    let rel = (trace_busy - tracker_busy).abs() / tracker_busy.max(f64::MIN_POSITIVE);
+    assert!(
+        rel < 0.01,
+        "trace busy {trace_busy:.3} s vs tracker busy {tracker_busy:.3} s ({:.2}% off)",
+        rel * 100.0
+    );
+    println!(
+        "pipeline-trace cross-check: {:.1} GPU-seconds busy in both planes ({:.3}% apart)",
+        trace_busy,
+        rel * 100.0
+    );
 
     println!("Figure 4a — GPU utilisation over time (window-averaged)\n");
     let mut table = Table::new(&["t (s)", "sarathi util", "gLLM util"]);
@@ -74,4 +92,7 @@ fn main() {
             mean_util_gllm: gllm.mean_utilization,
         },
     );
+    // Chrome trace_event export: load in chrome://tracing or
+    // https://ui.perfetto.dev to see per-stage compute and comm spans.
+    write_json("fig04_pipeline_trace", &gllm.pipeline_trace.to_chrome_trace());
 }

@@ -92,7 +92,7 @@ fn run_server(stages: usize, sarathi: bool, prompts: &[Vec<u32>], answer_len: us
             params: SamplingParams::greedy(),
         })
         .collect();
-    let out = server.generate_all(reqs);
+    let out = server.generate_all(reqs).expect("runtime stalled");
     server.shutdown();
     out
 }

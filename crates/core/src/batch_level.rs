@@ -8,7 +8,7 @@
 //! which is exactly its role in the literature.
 
 use crate::plan::{BatchPlan, PrefillChunk};
-use crate::policy::{take_decodes, SchedulePolicy, ScheduleView};
+use crate::policy::{blocks_to_append, take_decodes, SchedulePolicy, ScheduleView};
 
 /// Batch-level scheduling: admit a batch, run it to completion.
 #[derive(Debug, Clone)]
@@ -32,11 +32,13 @@ impl SchedulePolicy for BatchLevelPolicy {
             let decode = take_decodes(&view.decodable, view.decodable.len());
             return BatchPlan { prefill: Vec::new(), decode };
         }
-        // Admit a fresh batch of whole prompts.
-        let mut kv_left = view.kv_free_tokens;
+        // Admit a fresh batch of whole prompts, charging whole KV blocks.
+        let bs = view.block_size.max(1);
+        let mut blocks_left = view.kv_free_tokens / bs;
         let mut prefill = Vec::new();
         for w in view.waiting.iter().take(self.batch_size) {
-            if w.remaining_prefill > kv_left {
+            let slack = w.context_before.div_ceil(bs) * bs - w.context_before;
+            if w.remaining_prefill > slack + blocks_left * bs {
                 break;
             }
             prefill.push(PrefillChunk {
@@ -45,7 +47,7 @@ impl SchedulePolicy for BatchLevelPolicy {
                 context_before: w.context_before,
                 completes_prompt: true,
             });
-            kv_left -= w.remaining_prefill;
+            blocks_left -= blocks_to_append(w.context_before, w.remaining_prefill, bs);
         }
         BatchPlan { prefill, decode: Vec::new() }
     }
@@ -77,6 +79,7 @@ mod tests {
             total_decode_seqs: total_decode,
             kv_free_rate: 1.0,
             kv_free_tokens: 1_000_000,
+            block_size: 1,
             in_flight_seqs: in_flight,
             pipeline_depth: 1,
             max_seqs_per_batch: 1024,

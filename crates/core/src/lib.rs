@@ -47,7 +47,10 @@ pub mod throttle;
 
 pub use admission::{admit, Admission};
 pub use plan::{BatchPlan, DecodeSlot, PrefillChunk};
-pub use policy::{DecodableSeq, SchedulePolicy, ScheduleView, WaitingSeq};
+pub use policy::{
+    blocks_to_append, carve_prefill_chunks_block_aware, prefill_kv_after_decode, DecodableSeq,
+    SchedulePolicy, ScheduleView, WaitingSeq,
+};
 pub use pool::{BatchOutcome, EmittedToken, RequestPool};
 pub use sequence::{Phase, Sequence};
 pub use throttle::{ThrottleConfig, TokenThrottle};

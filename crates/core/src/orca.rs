@@ -7,7 +7,9 @@
 //! baseline the paper's background builds on.
 
 use crate::plan::{BatchPlan, PrefillChunk};
-use crate::policy::{take_decodes, SchedulePolicy, ScheduleView};
+use crate::policy::{
+    blocks_to_append, prefill_kv_after_decode, take_decodes, SchedulePolicy, ScheduleView,
+};
 
 /// Orca-style iteration-level scheduling with whole-prompt prefill.
 #[derive(Debug, Clone)]
@@ -29,7 +31,9 @@ impl SchedulePolicy for OrcaPolicy {
             &view.decodable,
             view.decodable.len().min(view.max_seqs_per_batch),
         );
-        let mut kv_left = view.kv_free_tokens.saturating_sub(decode.len());
+        let bs = view.block_size.max(1);
+        let mut blocks_left =
+            prefill_kv_after_decode(view.kv_free_tokens, &decode, view.block_size) / bs;
         let mut seq_budget = view
             .max_seqs_per_batch
             .saturating_sub(decode.len())
@@ -39,8 +43,10 @@ impl SchedulePolicy for OrcaPolicy {
             if seq_budget == 0 {
                 break;
             }
-            // Whole prompts only: skip prompts that do not fit in free KV.
-            if w.remaining_prefill > kv_left {
+            // Whole prompts only: skip prompts whose blocks do not fit in
+            // free KV (after partial-block slack).
+            let slack = w.context_before.div_ceil(bs) * bs - w.context_before;
+            if w.remaining_prefill > slack + blocks_left * bs {
                 continue;
             }
             prefill.push(PrefillChunk {
@@ -49,7 +55,7 @@ impl SchedulePolicy for OrcaPolicy {
                 context_before: w.context_before,
                 completes_prompt: true,
             });
-            kv_left -= w.remaining_prefill;
+            blocks_left -= blocks_to_append(w.context_before, w.remaining_prefill, bs);
             seq_budget -= 1;
         }
         BatchPlan { prefill, decode }
@@ -77,6 +83,7 @@ mod tests {
             total_decode_seqs: decodable,
             kv_free_rate: 1.0,
             kv_free_tokens,
+            block_size: 1,
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,

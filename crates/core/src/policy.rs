@@ -42,7 +42,11 @@ pub struct ScheduleView {
     /// The paper's `KV_free ∈ [0, 1]`.
     pub kv_free_rate: f64,
     /// Free KV slots (tokens) available for new allocations right now.
+    /// Always a whole number of free blocks (`free_blocks × block_size`).
     pub kv_free_tokens: usize,
+    /// KV block size in tokens — allocation is block-granular, so a chunk
+    /// or decode step may consume a whole block for its first token.
+    pub block_size: usize,
     /// Sequences currently inside in-flight micro-batches (any phase).
     pub in_flight_seqs: usize,
     /// Pipeline depth (`#PP_depth`), 1 for tensor parallelism.
@@ -65,6 +69,44 @@ pub trait SchedulePolicy: Send + Sync {
 
     /// Short name for reports and bench rows.
     fn name(&self) -> &'static str;
+
+    /// Budget caps this policy guarantees its plans respect, as
+    /// `(prefill_tokens, decode_seqs)`. `None` when the policy has no
+    /// closed-form budget; the invariant auditor then only checks that
+    /// admission never grows the plan.
+    fn budget_caps(&self, _view: &ScheduleView) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Blocks a sequence at `context` tokens must newly acquire to append
+/// `tokens` more, given block-granular allocation (the sequence already
+/// holds `ceil(context / block_size)` blocks).
+pub fn blocks_to_append(context: usize, tokens: usize, block_size: usize) -> usize {
+    let bs = block_size.max(1);
+    (context + tokens).div_ceil(bs) - context.div_ceil(bs)
+}
+
+/// KV tokens (whole free blocks) left for prefill after conservatively
+/// reserving the blocks this iteration's decode steps may claim: a decode
+/// step allocates a fresh block exactly when its context is block-aligned.
+/// Returns 0 when decode growth alone can exhaust free KV — the policy
+/// must then propose no prefill and let preemption resolve the pressure.
+pub fn prefill_kv_after_decode(
+    kv_free_tokens: usize,
+    decode: &[DecodeSlot],
+    block_size: usize,
+) -> usize {
+    let bs = block_size.max(1);
+    let mut blocks_left = kv_free_tokens / bs;
+    for d in decode {
+        let need = blocks_to_append(d.context_before, 1, bs);
+        if need > blocks_left {
+            return 0;
+        }
+        blocks_left -= need;
+    }
+    blocks_left * bs
 }
 
 /// Shared helper: greedily carve prefill chunks FCFS from `waiting` until
@@ -79,13 +121,37 @@ pub fn carve_prefill_chunks(
     seq_budget: usize,
     kv_free_tokens: usize,
 ) -> Vec<PrefillChunk> {
+    carve_prefill_chunks_block_aware(waiting, token_budget, seq_budget, kv_free_tokens, 1)
+}
+
+/// Like [`carve_prefill_chunks`], but block-granular: `kv_free_tokens`
+/// counts whole free blocks worth of tokens, and each chunk is charged the
+/// blocks it newly acquires. A partially-filled last block gives its owner
+/// `slack` tokens that cost nothing, so a sequence mid-prefill may still
+/// take a small chunk even when no whole block is free.
+pub fn carve_prefill_chunks_block_aware(
+    waiting: &[WaitingSeq],
+    token_budget: usize,
+    seq_budget: usize,
+    kv_free_tokens: usize,
+    block_size: usize,
+) -> Vec<PrefillChunk> {
+    let bs = block_size.max(1);
     let mut chunks = Vec::new();
-    let mut budget = token_budget.min(kv_free_tokens);
+    let mut budget = token_budget;
+    let mut blocks_left = kv_free_tokens / bs;
     for w in waiting.iter().take(seq_budget) {
         if budget == 0 {
             break;
         }
-        let take = w.remaining_prefill.min(budget);
+        let slack = w.context_before.div_ceil(bs) * bs - w.context_before;
+        let appendable = slack + blocks_left * bs;
+        let take = w.remaining_prefill.min(budget).min(appendable);
+        if take == 0 {
+            // This sequence cannot grow, but a later one with slack in its
+            // partial block still might.
+            continue;
+        }
         chunks.push(PrefillChunk {
             seq: w.seq,
             tokens: take,
@@ -93,6 +159,7 @@ pub fn carve_prefill_chunks(
             completes_prompt: take == w.remaining_prefill,
         });
         budget -= take;
+        blocks_left -= blocks_to_append(w.context_before, take, bs);
     }
     chunks
 }
@@ -112,29 +179,32 @@ pub fn carve_prefill_chunks_weighted(
     cost_budget: f64,
     seq_budget: usize,
     kv_free_tokens: usize,
+    block_size: usize,
     quad_ref: f64,
 ) -> Vec<PrefillChunk> {
     assert!(quad_ref > 0.0);
+    let bs = block_size.max(1);
     let mut chunks = Vec::new();
     let mut budget = cost_budget;
-    let mut kv_left = kv_free_tokens;
+    let mut blocks_left = kv_free_tokens / bs;
     for w in waiting.iter().take(seq_budget) {
-        if budget <= 0.0 || kv_left == 0 {
+        if budget <= 0.0 {
             break;
         }
         // Cost of n tokens starting at context c:
         //   n + (c·n + n²/2) / quad_ref
         // Solve for the largest n within budget (quadratic formula), then
-        // clamp by the remaining prompt and KV space.
+        // clamp by the remaining prompt and the block-granular KV space.
         let c = w.context_before as f64;
         let a = 0.5 / quad_ref;
         let b = 1.0 + c / quad_ref;
         let n_max = ((-b + (b * b + 4.0 * a * budget).sqrt()) / (2.0 * a)).floor();
+        let slack = w.context_before.div_ceil(bs) * bs - w.context_before;
         let take = (n_max.max(0.0) as usize)
             .min(w.remaining_prefill)
-            .min(kv_left);
+            .min(slack + blocks_left * bs);
         if take == 0 {
-            break;
+            continue;
         }
         let cost = take as f64 + (c * take as f64 + (take * take) as f64 / 2.0) / quad_ref;
         chunks.push(PrefillChunk {
@@ -144,7 +214,7 @@ pub fn carve_prefill_chunks_weighted(
             completes_prompt: take == w.remaining_prefill,
         });
         budget -= cost;
-        kv_left -= take;
+        blocks_left -= blocks_to_append(w.context_before, take, bs);
     }
     chunks
 }
@@ -208,7 +278,7 @@ mod tests {
         // With context 0 and a huge quad_ref, weighting is ≈1 per token.
         let w = waiting(&[(1, 300), (2, 500)]);
         let plain = carve_prefill_chunks(&w, 400, 10, usize::MAX);
-        let weighted = carve_prefill_chunks_weighted(&w, 400.0, 10, usize::MAX, 1e12);
+        let weighted = carve_prefill_chunks_weighted(&w, 400.0, 10, usize::MAX, 1, 1e12);
         assert_eq!(plain, weighted);
     }
 
@@ -216,8 +286,8 @@ mod tests {
     fn weighted_carving_shrinks_long_context_chunks() {
         let near = vec![WaitingSeq { seq: 1, remaining_prefill: 4096, context_before: 0 }];
         let far = vec![WaitingSeq { seq: 2, remaining_prefill: 4096, context_before: 16_384 }];
-        let a = carve_prefill_chunks_weighted(&near, 1024.0, 10, usize::MAX, 8192.0);
-        let b = carve_prefill_chunks_weighted(&far, 1024.0, 10, usize::MAX, 8192.0);
+        let a = carve_prefill_chunks_weighted(&near, 1024.0, 10, usize::MAX, 1, 8192.0);
+        let b = carve_prefill_chunks_weighted(&far, 1024.0, 10, usize::MAX, 1, 8192.0);
         assert!(
             b[0].tokens < a[0].tokens / 2,
             "context 16K chunk ({}) should be much smaller than context-0 ({})",
@@ -235,7 +305,7 @@ mod tests {
         ];
         let quad_ref = 4096.0;
         let budget = 800.0;
-        let chunks = carve_prefill_chunks_weighted(&w, budget, 10, usize::MAX, quad_ref);
+        let chunks = carve_prefill_chunks_weighted(&w, budget, 10, usize::MAX, 1, quad_ref);
         let cost: f64 = chunks
             .iter()
             .map(|c| {
@@ -245,6 +315,74 @@ mod tests {
             .sum();
         assert!(cost <= budget * 1.01, "cost {cost} exceeds budget {budget}");
         assert!(!chunks.is_empty());
+    }
+
+    #[test]
+    fn blocks_to_append_counts_block_boundaries() {
+        assert_eq!(blocks_to_append(0, 16, 16), 1);
+        assert_eq!(blocks_to_append(15, 1, 16), 0);
+        assert_eq!(blocks_to_append(16, 1, 16), 1);
+        assert_eq!(blocks_to_append(20, 12, 16), 0);
+        assert_eq!(blocks_to_append(20, 13, 16), 1);
+    }
+
+    #[test]
+    fn block_aware_carving_charges_whole_blocks() {
+        // One free block of 16; a fresh sequence can take at most 16
+        // tokens even with a huge token budget.
+        let w = waiting(&[(1, 300)]);
+        let chunks = carve_prefill_chunks_block_aware(&w, 1000, 10, 16, 16);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].tokens, 16);
+    }
+
+    #[test]
+    fn block_aware_carving_uses_partial_block_slack() {
+        // Context 20 owns 2 blocks of 16 with 12 tokens of slack; with no
+        // free blocks it may still grow by exactly that slack.
+        let w = vec![WaitingSeq { seq: 1, remaining_prefill: 300, context_before: 20 }];
+        let chunks = carve_prefill_chunks_block_aware(&w, 1000, 10, 0, 16);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].tokens, 12);
+    }
+
+    #[test]
+    fn block_aware_carving_skips_stuck_head_for_slack_holder() {
+        // A fresh head can't allocate (no free blocks), but a later
+        // sequence with slack in its partial block still proceeds.
+        let w = vec![
+            WaitingSeq { seq: 1, remaining_prefill: 100, context_before: 0 },
+            WaitingSeq { seq: 2, remaining_prefill: 100, context_before: 24 },
+        ];
+        let chunks = carve_prefill_chunks_block_aware(&w, 1000, 10, 0, 16);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].seq, 2);
+        assert_eq!(chunks[0].tokens, 8);
+    }
+
+    #[test]
+    fn block_aware_with_unit_blocks_matches_plain() {
+        let w = waiting(&[(1, 300), (2, 500)]);
+        assert_eq!(
+            carve_prefill_chunks(&w, 400, 10, 120),
+            carve_prefill_chunks_block_aware(&w, 400, 10, 120, 1)
+        );
+    }
+
+    #[test]
+    fn prefill_kv_after_decode_reserves_whole_blocks() {
+        // 3 free blocks of 16; two decodes at block-aligned contexts each
+        // need a fresh block, one mid-block decode needs none.
+        let decode = vec![
+            DecodeSlot { seq: 1, context_before: 32 },
+            DecodeSlot { seq: 2, context_before: 48 },
+            DecodeSlot { seq: 3, context_before: 33 },
+        ];
+        assert_eq!(prefill_kv_after_decode(48, &decode, 16), 16);
+        // Decode growth alone exhausts KV → nothing left for prefill.
+        assert_eq!(prefill_kv_after_decode(16, &decode, 16), 0);
+        // Token-granular systems degenerate to the old arithmetic.
+        assert_eq!(prefill_kv_after_decode(10, &decode, 1), 7);
     }
 
     #[test]
@@ -267,6 +405,7 @@ mod tests {
             total_decode_seqs: 0,
             kv_free_rate: 1.0,
             kv_free_tokens: 100,
+            block_size: 1,
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,

@@ -125,12 +125,14 @@ impl RequestPool {
         self.unfinished_count() > 0
     }
 
-    /// Build the scheduling snapshot. `kv_free_rate` / `kv_free_tokens`
-    /// come from the KV cache manager; `pipeline_depth` from the engine.
+    /// Build the scheduling snapshot. `kv_free_rate` / `kv_free_tokens` /
+    /// `block_size` come from the KV cache manager; `pipeline_depth` from
+    /// the engine.
     pub fn view(
         &self,
         kv_free_rate: f64,
         kv_free_tokens: usize,
+        block_size: usize,
         pipeline_depth: usize,
     ) -> ScheduleView {
         let mut waiting = Vec::new();
@@ -166,6 +168,7 @@ impl RequestPool {
             total_decode_seqs: total_decode,
             kv_free_rate,
             kv_free_tokens,
+            block_size,
             in_flight_seqs: in_flight,
             pipeline_depth,
             max_seqs_per_batch: self.max_seqs_per_batch,
@@ -323,7 +326,7 @@ mod tests {
         let plan = BatchPlan { prefill: vec![chunk(2, 50, 0, true)], decode: vec![] };
         pool.commit(&plan);
         pool.complete(&plan);
-        let v = pool.view(1.0, 1000, 4);
+        let v = pool.view(1.0, 1000, 1, 4);
         assert_eq!(v.waiting.len(), 1);
         assert_eq!(v.waiting[0].seq, 1);
         assert_eq!(v.decodable.len(), 1);
@@ -345,12 +348,12 @@ mod tests {
             decode: vec![DecodeSlot { seq: 1, context_before: 10 }],
         };
         pool.commit(&p2);
-        let v = pool.view(1.0, 1000, 4);
+        let v = pool.view(1.0, 1000, 1, 4);
         assert!(v.decodable.is_empty(), "in-flight seq is not schedulable");
         assert_eq!(v.total_decode_seqs, 1, "but it counts in #RD");
         assert_eq!(v.in_flight_seqs, 1);
         pool.complete(&p2);
-        assert_eq!(pool.view(1.0, 1000, 4).decodable.len(), 1);
+        assert_eq!(pool.view(1.0, 1000, 1, 4).decodable.len(), 1);
     }
 
     #[test]
@@ -380,7 +383,7 @@ mod tests {
         pool.commit(&p);
         let o = pool.complete(&p);
         assert!(o.emitted.is_empty());
-        let v = pool.view(1.0, 1000, 4);
+        let v = pool.view(1.0, 1000, 1, 4);
         assert_eq!(v.waiting[0].remaining_prefill, 60);
         assert_eq!(v.waiting[0].context_before, 40);
     }
@@ -406,7 +409,7 @@ mod tests {
         let (victim, held) = pool.preempt_latest().unwrap();
         assert_eq!(victim, 2);
         assert_eq!(held, 10);
-        let v = pool.view(1.0, 1000, 4);
+        let v = pool.view(1.0, 1000, 1, 4);
         assert_eq!(v.decodable.len(), 1);
         assert_eq!(v.waiting.len(), 1);
         assert_eq!(v.waiting[0].seq, 2);
@@ -422,13 +425,13 @@ mod tests {
         let p1 = BatchPlan { prefill: vec![chunk(1, 60, 0, false)], decode: vec![] };
         pool.commit(&p1);
         // With CPP the remainder is schedulable while chunk 1 is in flight.
-        let v = pool.view(1.0, 1000, 4);
+        let v = pool.view(1.0, 1000, 1, 4);
         assert_eq!(v.waiting.len(), 1);
         assert_eq!(v.waiting[0].remaining_prefill, 40);
         assert_eq!(v.waiting[0].context_before, 60);
         let p2 = BatchPlan { prefill: vec![chunk(1, 40, 60, true)], decode: vec![] };
         pool.commit(&p2);
-        assert!(pool.view(1.0, 1000, 4).waiting.is_empty());
+        assert!(pool.view(1.0, 1000, 1, 4).waiting.is_empty());
         // Chunks complete in pipeline order; only the final one emits.
         let o1 = pool.complete(&p1);
         assert!(o1.emitted.is_empty());
@@ -443,7 +446,7 @@ mod tests {
         pool.add(1, 100, 3);
         let p1 = BatchPlan { prefill: vec![chunk(1, 60, 0, false)], decode: vec![] };
         pool.commit(&p1);
-        assert!(pool.view(1.0, 1000, 4).waiting.is_empty());
+        assert!(pool.view(1.0, 1000, 1, 4).waiting.is_empty());
     }
 
     #[test]
@@ -474,7 +477,7 @@ mod tests {
         while pool.has_work() {
             iterations += 1;
             assert!(iterations < 10_000, "policy failed to drain the pool");
-            let view = pool.view(1.0, usize::MAX, 4);
+            let view = pool.view(1.0, usize::MAX, 1, 4);
             let plan = policy.plan(&view);
             if plan.is_empty() {
                 // Nothing schedulable (everything in flight) cannot happen

@@ -14,7 +14,10 @@
 //! Throttling addresses both.
 
 use crate::plan::BatchPlan;
-use crate::policy::{carve_prefill_chunks, take_decodes, SchedulePolicy, ScheduleView};
+use crate::policy::{
+    carve_prefill_chunks_block_aware, prefill_kv_after_decode, take_decodes, SchedulePolicy,
+    ScheduleView,
+};
 
 /// Sarathi-Serve: decode-first hybrid batching under a fixed token budget.
 #[derive(Debug, Clone)]
@@ -50,13 +53,29 @@ impl SchedulePolicy for SarathiServe {
         let decode = take_decodes(&view.decodable, decode_budget);
 
         // Step 2 (paper Fig. 5 ❷): maximise chunked prefill within the
-        // remaining fixed budget.
+        // remaining fixed budget, against the KV blocks left once decode
+        // steps have claimed theirs.
         let remaining = self.token_budget - decode.len();
-        let kv_left = view.kv_free_tokens.saturating_sub(decode.len());
+        let kv_left = prefill_kv_after_decode(view.kv_free_tokens, &decode, view.block_size);
         let seq_budget = view.max_seqs_per_batch.saturating_sub(decode.len());
-        let prefill = carve_prefill_chunks(&view.waiting, remaining, seq_budget, kv_left);
+        let prefill = carve_prefill_chunks_block_aware(
+            &view.waiting,
+            remaining,
+            seq_budget,
+            kv_left,
+            view.block_size,
+        );
 
         BatchPlan { prefill, decode }
+    }
+
+    fn budget_caps(&self, view: &ScheduleView) -> Option<(usize, usize)> {
+        let decode = view
+            .decodable
+            .len()
+            .min(self.token_budget)
+            .min(view.max_seqs_per_batch);
+        Some((self.token_budget - decode, decode))
     }
 
     fn name(&self) -> &'static str {
@@ -81,6 +100,7 @@ mod tests {
             total_decode_seqs: decodable,
             kv_free_rate: 1.0,
             kv_free_tokens,
+            block_size: 1,
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,

@@ -17,7 +17,7 @@
 use std::sync::Mutex;
 
 use crate::plan::BatchPlan;
-use crate::policy::{carve_prefill_chunks, take_decodes, SchedulePolicy, ScheduleView};
+use crate::policy::{carve_prefill_chunks_block_aware, take_decodes, SchedulePolicy, ScheduleView};
 
 /// Which phase the pipeline is temporally dedicated to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,11 +88,12 @@ impl SchedulePolicy for TdPipe {
 
         match *phase {
             TdPhase::Prefill => {
-                let prefill = carve_prefill_chunks(
+                let prefill = carve_prefill_chunks_block_aware(
                     &view.waiting,
                     self.prefill_batch_tokens,
                     view.max_seqs_per_batch,
                     view.kv_free_tokens,
+                    view.block_size,
                 );
                 if prefill.is_empty() {
                     // Nothing to prefill after all: serve decodes rather
@@ -117,11 +118,12 @@ impl SchedulePolicy for TdPipe {
                     // Decode drained entirely while we held the phase:
                     // fall through to prefill immediately.
                     *phase = TdPhase::Prefill;
-                    let prefill = carve_prefill_chunks(
+                    let prefill = carve_prefill_chunks_block_aware(
                         &view.waiting,
                         self.prefill_batch_tokens,
                         view.max_seqs_per_batch,
                         view.kv_free_tokens,
+                        view.block_size,
                     );
                     return BatchPlan { prefill, decode: Vec::new() };
                 }
@@ -151,6 +153,7 @@ mod tests {
             total_decode_seqs: total_decode,
             kv_free_rate: 1.0,
             kv_free_tokens: usize::MAX >> 1,
+            block_size: 1,
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,

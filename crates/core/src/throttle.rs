@@ -22,7 +22,10 @@
 use serde::{Deserialize, Serialize};
 
 use crate::plan::BatchPlan;
-use crate::policy::{carve_prefill_chunks, take_decodes, SchedulePolicy, ScheduleView};
+use crate::policy::{
+    carve_prefill_chunks_block_aware, prefill_kv_after_decode, take_decodes, SchedulePolicy,
+    ScheduleView,
+};
 
 /// Hyper-parameters of Token Throttling (paper defaults: `#T = 8`,
 /// `#MaxP = 2048`, `#MinP = 32`, `KV_thresh = 0.05`).
@@ -143,9 +146,11 @@ impl SchedulePolicy for TokenThrottle {
         let decode_budget = self.decode_budget(view).min(view.max_seqs_per_batch);
         let decode = take_decodes(&view.decodable, decode_budget);
 
-        // Decode steps each claim one new KV slot; reserve them before
-        // prefill carves into the remaining free space.
-        let kv_left = view.kv_free_tokens.saturating_sub(decode.len());
+        // A decode step at a block-aligned context claims a whole fresh KV
+        // block; reserve those blocks before prefill carves into the
+        // remaining free space. (Reserving one *token* per decode here was
+        // the overcommit bug the invariant auditor exists to catch.)
+        let kv_left = prefill_kv_after_decode(view.kv_free_tokens, &decode, view.block_size);
         let seq_budget = view.max_seqs_per_batch.saturating_sub(decode.len());
         let budget = self.prefill_budget(view);
         let prefill = match self.config.context_aware {
@@ -154,12 +159,26 @@ impl SchedulePolicy for TokenThrottle {
                 budget as f64,
                 seq_budget,
                 kv_left,
+                view.block_size,
                 quad_ref,
             ),
-            None => carve_prefill_chunks(&view.waiting, budget, seq_budget, kv_left),
+            None => carve_prefill_chunks_block_aware(
+                &view.waiting,
+                budget,
+                seq_budget,
+                kv_left,
+                view.block_size,
+            ),
         };
 
         BatchPlan { prefill, decode }
+    }
+
+    fn budget_caps(&self, view: &ScheduleView) -> Option<(usize, usize)> {
+        Some((
+            self.prefill_budget(view),
+            self.decode_budget(view).min(view.max_seqs_per_batch),
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -192,6 +211,7 @@ mod tests {
             total_decode_seqs: total_decode,
             kv_free_rate: kv_free,
             kv_free_tokens: 1_000_000,
+            block_size: 1,
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,
@@ -270,6 +290,48 @@ mod tests {
         let plan = p.plan(&v);
         assert_eq!(plan.decode.len(), 2); // ceil(8/4)
         assert!(plan.prefill_tokens() <= 8);
+    }
+
+    /// Regression test for the block-granularity bug: with 16-token blocks
+    /// and 5 free blocks (80 tokens), 4 decodes at block-aligned context 64
+    /// consume 4 whole blocks, so prefill must fit in the single remaining
+    /// block. The pre-fix code reserved 4 *tokens* and carved a 63-token
+    /// prefill — a 3-block overcommit that admission silently absorbed.
+    #[test]
+    fn plan_reserves_whole_blocks_for_decodes_before_prefill() {
+        let mut v = view(500, 16, 16, 1.0);
+        v.block_size = 16;
+        v.kv_free_tokens = 80; // 5 free blocks of 16
+        let p = TokenThrottle::default();
+        let plan = p.plan(&v);
+        assert_eq!(plan.decode.len(), 4); // ceil(16/4), each at context 64
+        assert!(
+            plan.prefill_tokens() <= 16,
+            "prefill must fit the one block left after decode reservation, got {}",
+            plan.prefill_tokens()
+        );
+        // The plan as a whole fits the 5 free blocks.
+        let blocks: usize = plan
+            .decode
+            .iter()
+            .map(|d| crate::policy::blocks_to_append(d.context_before, 1, 16))
+            .chain(plan.prefill.iter().map(|c| {
+                crate::policy::blocks_to_append(c.context_before, c.tokens, 16)
+            }))
+            .sum();
+        assert!(blocks <= 5, "plan claims {blocks} blocks with only 5 free");
+    }
+
+    #[test]
+    fn budget_caps_match_the_published_budgets() {
+        let p = TokenThrottle::default();
+        let v = view(8000, 64, 64, 1.0);
+        let (prefill, decode) = p.budget_caps(&v).expect("throttle declares caps");
+        assert_eq!(prefill, p.prefill_budget(&v));
+        assert_eq!(decode, 16);
+        let plan = p.plan(&v);
+        assert!(plan.prefill_tokens() <= prefill);
+        assert!(plan.decode.len() <= decode);
     }
 
     #[test]

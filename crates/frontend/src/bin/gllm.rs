@@ -40,6 +40,7 @@ USAGE:
   gllm simulate      [--model 14b|32b|100b] [--cluster l20|a100|a800] [--gpus N]
                      [--system gllm|vllm|sglang|tdpipe|orca|ft] [--dataset sharegpt|azure]
                      [--rate R] [--seed S] [--trace-file azure.csv]
+                     [--trace-out trace.json] [--no-audit]
   gllm bench-serving [--host H] [--port N] [--rate R] [--num-prompts N]
                      [--input-len L] [--max-tokens M] [--seed S]
 ";
@@ -52,7 +53,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // Boolean flags take no value.
-        if key == "cpp" {
+        if key == "cpp" || key == "no-audit" {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -151,7 +152,11 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
         dataset.name(),
         trace.len()
     );
-    let r = run_experiment(&trace, &system, &deployment, &EngineConfig::default());
+    let mut cfg = EngineConfig::default();
+    cfg.audit = !flags.contains_key("no-audit");
+    let trace_out = flags.get("trace-out").cloned();
+    cfg.record_pipeline_trace = trace_out.is_some();
+    let r = run_experiment(&trace, &system, &deployment, &cfg);
     println!("system:      {}", r.system);
     println!("finished:    {}/{}", r.report.finished_requests, r.report.total_requests);
     println!("TTFT:        {:.1} ms (p99 {:.1})", r.report.mean_ttft_s * 1e3, r.report.p99_ttft_s * 1e3);
@@ -160,6 +165,19 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
     println!("throughput:  {:.0} tok/s", r.report.throughput_tok_s);
     println!("utilisation: {:.1} %", r.mean_utilization * 100.0);
     println!("preemptions: {}", r.preemptions);
+    if let Some(audit) = &r.audit {
+        println!(
+            "audit:       {} batches checked, {} violations",
+            audit.batches_checked,
+            audit.violations.len()
+        );
+    }
+    if let Some(path) = trace_out {
+        // Chrome trace_event format: open in chrome://tracing or Perfetto.
+        std::fs::write(&path, r.pipeline_trace.to_chrome_trace_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace:       {} events written to {path}", r.pipeline_trace.events().len());
+    }
     Ok(())
 }
 

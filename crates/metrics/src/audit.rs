@@ -1,0 +1,692 @@
+//! Pipeline invariant auditing.
+//!
+//! The simulator and the threaded runtime share one scheduling contract:
+//! KV is allocated block-granularly at schedule time, at most `#PP_depth`
+//! micro-batches coexist in the pipeline, committed plans never exceed
+//! what the policy budgeted, and prefill admission is FCFS. Violations of
+//! any of these are silent accounting bugs — throughput numbers stay
+//! plausible while KV leaks or batches overcommit and thrash.
+//!
+//! [`InvariantAuditor`] shadows the scheduler's state from the same event
+//! stream both execution planes already produce (schedule, complete,
+//! evict) and cross-checks it against the KV cache manager's observed
+//! occupancy on every transition. It checks:
+//!
+//! 1. **KV accounting** — the manager's used/free block counts equal the
+//!    sum of per-sequence allocations at block granularity,
+//! 2. **KV overcommit** — a *proposed* plan fits the free blocks it was
+//!    planned against (catches token-granular reservations that admission
+//!    would silently trim),
+//! 3. **Pipeline depth** — never more than `#PP_depth` batches in flight,
+//! 4. **Budget conformance** — plans respect the policy's declared
+//!    prefill/decode budgets, and admission only ever trims a plan,
+//! 5. **FCFS admission** — a sequence never starts prefilling before an
+//!    earlier arrival that has not started (and is still live).
+//!
+//! The auditor is cheap — a hash map of live contexts and O(plan) work
+//! per batch — so both planes keep it on in every test.
+
+use std::collections::{HashMap, HashSet};
+
+use gllm_core::BatchPlan;
+use serde::Serialize;
+
+/// Blocks a sequence at `context` tokens must acquire to append `tokens`
+/// more, given that it already holds exactly `ceil(context / block_size)`
+/// blocks (the page-table invariant of the KV manager).
+pub fn blocks_to_append(context: usize, tokens: usize, block_size: usize) -> usize {
+    let bs = block_size.max(1);
+    (context + tokens).div_ceil(bs) - context.div_ceil(bs)
+}
+
+/// Occupancy observed from the KV cache manager at a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct KvObservation {
+    /// Free physical blocks.
+    pub free_blocks: usize,
+    /// Blocks with at least one owner.
+    pub used_blocks: usize,
+}
+
+/// Budget caps a policy declared for one scheduling decision (see
+/// `SchedulePolicy::budget_caps`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PlanCaps {
+    /// Maximum batched prefill tokens.
+    pub prefill_tokens: usize,
+    /// Maximum decode sequences.
+    pub decode_seqs: usize,
+}
+
+/// Which contract a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Invariant {
+    /// Shadow per-sequence allocations disagree with the KV manager.
+    KvAccounting,
+    /// A proposed plan did not fit the free blocks it was planned against.
+    KvOvercommit,
+    /// More than `#PP_depth` micro-batches in flight.
+    PipelineDepth,
+    /// A plan exceeded the policy's declared budgets, or admission grew it.
+    BudgetConformance,
+    /// Prefill admission inverted FCFS order.
+    FcfsAdmission,
+}
+
+/// One detected contract violation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Violation {
+    /// Engine time (virtual or wall-clock seconds) of the transition.
+    pub t_s: f64,
+    /// Micro-batch under audit, if the transition had one.
+    pub batch: Option<u64>,
+    /// Broken contract.
+    pub invariant: Invariant,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Point-in-time digest of the auditor's shadow state — attached to stall
+/// errors so a wedged runtime reports *why* it stopped scheduling.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AuditSnapshot {
+    /// Time of the last audited transition.
+    pub t_s: f64,
+    /// Micro-batches audited so far.
+    pub batches_checked: u64,
+    /// Micro-batches currently in flight.
+    pub in_flight: usize,
+    /// Pipeline depth limit.
+    pub depth: usize,
+    /// Sequences currently holding KV.
+    pub live_kv_seqs: usize,
+    /// Blocks the shadow accounting says are allocated.
+    pub shadow_used_blocks: usize,
+    /// Total physical blocks.
+    pub total_blocks: usize,
+    /// Violations recorded so far.
+    pub violations: usize,
+}
+
+/// Final audit result of a run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AuditReport {
+    /// Every violation, in detection order.
+    pub violations: Vec<Violation>,
+    /// Micro-batches audited.
+    pub batches_checked: u64,
+    /// Shadow state at the end of the run.
+    pub final_snapshot: AuditSnapshot,
+}
+
+impl AuditReport {
+    /// True when the run broke no invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with every violation listed unless the run was clean.
+    pub fn assert_clean(&self, plane: &str) {
+        assert!(
+            self.is_clean(),
+            "{plane}: {} invariant violation(s):\n{}",
+            self.violations.len(),
+            self.violations
+                .iter()
+                .map(|v| format!("  [{:?}] t={:.6} batch={:?}: {}", v.invariant, v.t_s, v.batch, v.detail))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+    }
+}
+
+/// Shadow scheduler state cross-checked on every transition.
+#[derive(Debug, Clone)]
+pub struct InvariantAuditor {
+    block_size: usize,
+    total_blocks: usize,
+    depth: usize,
+
+    in_flight: usize,
+    batches_checked: u64,
+    last_t: f64,
+
+    /// Arrival index per request id, in submission order.
+    arrival_idx: HashMap<u64, usize>,
+    next_arrival: usize,
+    /// Requests that have received their first prefill chunk.
+    started: HashSet<u64>,
+    /// Requests that finished or were rejected (exempt from FCFS checks).
+    gone: HashSet<u64>,
+    /// Committed KV tokens per sequence currently holding cache.
+    ctx: HashMap<u64, usize>,
+
+    violations: Vec<Violation>,
+}
+
+impl InvariantAuditor {
+    /// An auditor over `total_blocks` KV blocks of `block_size` tokens on
+    /// a pipeline of `depth` stages.
+    pub fn new(total_blocks: usize, block_size: usize, depth: usize) -> Self {
+        Self {
+            block_size: block_size.max(1),
+            total_blocks,
+            depth: depth.max(1),
+            in_flight: 0,
+            batches_checked: 0,
+            last_t: 0.0,
+            arrival_idx: HashMap::new(),
+            next_arrival: 0,
+            started: HashSet::new(),
+            gone: HashSet::new(),
+            ctx: HashMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// A request entered the system (records FCFS arrival order).
+    pub fn on_arrival(&mut self, seq: u64) {
+        self.arrival_idx.entry(seq).or_insert_with(|| {
+            let i = self.next_arrival;
+            self.next_arrival += 1;
+            i
+        });
+    }
+
+    /// A request was rejected before admission (oversized, empty, …).
+    pub fn on_abort(&mut self, seq: u64) {
+        self.gone.insert(seq);
+    }
+
+    /// A sequence's KV was evicted (recompute preemption): it returns to
+    /// the waiting queue with an empty context.
+    pub fn on_evict(&mut self, seq: u64) {
+        self.ctx.remove(&seq);
+    }
+
+    /// Audit one scheduling decision: `proposed` is the policy's raw plan,
+    /// `committed` what admission actually placed, `before`/`after` the KV
+    /// occupancy around admission, `caps` the policy's declared budgets.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_schedule(
+        &mut self,
+        t_s: f64,
+        batch: u64,
+        proposed: &BatchPlan,
+        committed: &BatchPlan,
+        caps: Option<PlanCaps>,
+        before: KvObservation,
+        after: KvObservation,
+    ) {
+        self.last_t = t_s;
+        self.batches_checked += 1;
+
+        // (3) Pipeline depth.
+        if self.in_flight >= self.depth {
+            self.violate(
+                t_s,
+                Some(batch),
+                Invariant::PipelineDepth,
+                format!("scheduled with {} batches already in flight (depth {})", self.in_flight, self.depth),
+            );
+        }
+        self.in_flight += 1;
+
+        self.check_overcommit(t_s, batch, proposed, before);
+        self.check_conformance(t_s, batch, proposed, committed, caps);
+        self.check_fcfs(t_s, batch, committed);
+
+        // (1) Apply the committed plan to the shadow allocations, then the
+        // manager must agree block-for-block.
+        for c in &committed.prefill {
+            let cur = self.ctx.get(&c.seq).copied().unwrap_or(0);
+            if cur != c.context_before {
+                self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::KvAccounting,
+                    format!("seq {} prefill chunk claims context {} but shadow holds {}", c.seq, c.context_before, cur),
+                );
+            }
+            self.ctx.insert(c.seq, cur + c.tokens);
+            self.started.insert(c.seq);
+        }
+        for d in &committed.decode {
+            let cur = self.ctx.get(&d.seq).copied().unwrap_or(0);
+            if cur != d.context_before {
+                self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::KvAccounting,
+                    format!("seq {} decode slot claims context {} but shadow holds {}", d.seq, d.context_before, cur),
+                );
+            }
+            self.ctx.insert(d.seq, cur + 1);
+        }
+        self.check_kv(t_s, Some(batch), after);
+    }
+
+    /// Audit one batch completion. `finished` lists sequences whose KV the
+    /// engine freed; `after` is the occupancy after those frees.
+    pub fn on_complete(&mut self, t_s: f64, batch: u64, finished: &[u64], after: KvObservation) {
+        self.last_t = t_s;
+        if self.in_flight == 0 {
+            self.violate(
+                t_s,
+                Some(batch),
+                Invariant::PipelineDepth,
+                "batch completed with nothing in flight".to_string(),
+            );
+        } else {
+            self.in_flight -= 1;
+        }
+        for &id in finished {
+            self.gone.insert(id);
+            if self.ctx.remove(&id).is_none() {
+                self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::KvAccounting,
+                    format!("finished seq {id} held no shadow KV"),
+                );
+            }
+        }
+        self.check_kv(t_s, Some(batch), after);
+    }
+
+    /// (2) The proposed plan must fit the free blocks it was planned
+    /// against. Decode growth may legitimately exceed free space (that is
+    /// what recompute preemption is for) — but then the policy must not
+    /// propose prefill on top.
+    fn check_overcommit(&mut self, t_s: f64, batch: u64, proposed: &BatchPlan, before: KvObservation) {
+        let bs = self.block_size;
+        let mut left = before.free_blocks;
+        let mut decode_exhausted = false;
+        for d in &proposed.decode {
+            let need = blocks_to_append(d.context_before, 1, bs);
+            if need > left {
+                decode_exhausted = true;
+                left = 0;
+            } else {
+                left -= need;
+            }
+        }
+        if decode_exhausted {
+            // Preemption will make room for the decodes; new prefill blocks
+            // on top would be indefensible. Chunks that fit entirely in the
+            // slack of their sequence's own partial last block allocate
+            // nothing, so they stay legal.
+            for c in &proposed.prefill {
+                let need = blocks_to_append(c.context_before, c.tokens, bs);
+                if need > 0 {
+                    self.violate(
+                        t_s,
+                        Some(batch),
+                        Invariant::KvOvercommit,
+                        format!(
+                            "chunk for seq {} needs {} fresh block(s) while decode growth \
+                             alone exceeds {} free blocks",
+                            c.seq, need, before.free_blocks
+                        ),
+                    );
+                    return;
+                }
+            }
+            return;
+        }
+        for c in &proposed.prefill {
+            let need = blocks_to_append(c.context_before, c.tokens, bs);
+            if need > left {
+                self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::KvOvercommit,
+                    format!(
+                        "proposed plan overcommits KV: chunk for seq {} needs {} blocks with {} left \
+                         ({} free before the batch, block size {})",
+                        c.seq, need, left, before.free_blocks, bs
+                    ),
+                );
+                return;
+            }
+            left -= need;
+        }
+    }
+
+    /// (4) Admission only trims; the policy's declared budgets bound the
+    /// proposal.
+    fn check_conformance(
+        &mut self,
+        t_s: f64,
+        batch: u64,
+        proposed: &BatchPlan,
+        committed: &BatchPlan,
+        caps: Option<PlanCaps>,
+    ) {
+        if let Some(caps) = caps {
+            let p = proposed.prefill_tokens();
+            if p > caps.prefill_tokens {
+                self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::BudgetConformance,
+                    format!("proposed {} prefill tokens over the policy's budget {}", p, caps.prefill_tokens),
+                );
+            }
+            if proposed.decode.len() > caps.decode_seqs {
+                self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::BudgetConformance,
+                    format!("proposed {} decode seqs over the policy's budget {}", proposed.decode.len(), caps.decode_seqs),
+                );
+            }
+        }
+        for c in &committed.prefill {
+            match proposed.prefill.iter().find(|p| p.seq == c.seq) {
+                Some(p) if c.tokens <= p.tokens => {}
+                Some(p) => self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::BudgetConformance,
+                    format!("admission grew seq {}'s chunk from {} to {} tokens", c.seq, p.tokens, c.tokens),
+                ),
+                None => self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::BudgetConformance,
+                    format!("admission invented a prefill chunk for seq {}", c.seq),
+                ),
+            }
+        }
+        for d in &committed.decode {
+            if !proposed.decode.iter().any(|p| p.seq == d.seq) {
+                self.violate(
+                    t_s,
+                    Some(batch),
+                    Invariant::BudgetConformance,
+                    format!("admission invented a decode slot for seq {}", d.seq),
+                );
+            }
+        }
+    }
+
+    /// (5) FCFS: chunks within a plan follow arrival order, and a sequence
+    /// never starts while an earlier arrival waits unstarted.
+    fn check_fcfs(&mut self, t_s: f64, batch: u64, committed: &BatchPlan) {
+        let mut prev_idx: Option<usize> = None;
+        for c in &committed.prefill {
+            let Some(&idx) = self.arrival_idx.get(&c.seq) else { continue };
+            if let Some(p) = prev_idx {
+                if idx < p {
+                    self.violate(
+                        t_s,
+                        Some(batch),
+                        Invariant::FcfsAdmission,
+                        format!("prefill chunks out of arrival order (seq {} after a later arrival)", c.seq),
+                    );
+                }
+            }
+            prev_idx = Some(idx);
+            if !self.started.contains(&c.seq) {
+                // First-ever chunk: every earlier arrival must have started
+                // or left the system.
+                let skipped: Vec<u64> = self
+                    .arrival_idx
+                    .iter()
+                    .filter(|(id, &i)| i < idx && !self.started.contains(id) && !self.gone.contains(id))
+                    .map(|(&id, _)| id)
+                    .collect();
+                if !skipped.is_empty() {
+                    self.violate(
+                        t_s,
+                        Some(batch),
+                        Invariant::FcfsAdmission,
+                        format!("seq {} started before earlier unstarted arrivals {:?}", c.seq, skipped),
+                    );
+                }
+                self.started.insert(c.seq);
+            }
+        }
+    }
+
+    /// (1) Shadow allocations vs. observed occupancy, block-granular.
+    fn check_kv(&mut self, t_s: f64, batch: Option<u64>, obs: KvObservation) {
+        let bs = self.block_size;
+        let shadow_used: usize = self.ctx.values().map(|&c| c.div_ceil(bs)).sum();
+        if shadow_used != obs.used_blocks || self.total_blocks - shadow_used != obs.free_blocks {
+            self.violate(
+                t_s,
+                batch,
+                Invariant::KvAccounting,
+                format!(
+                    "shadow accounting says {}/{} blocks used, manager reports {} used / {} free",
+                    shadow_used, self.total_blocks, obs.used_blocks, obs.free_blocks
+                ),
+            );
+        }
+    }
+
+    fn violate(&mut self, t_s: f64, batch: Option<u64>, invariant: Invariant, detail: String) {
+        self.violations.push(Violation { t_s, batch, invariant, detail });
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True while no invariant has been broken.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Current shadow-state digest.
+    pub fn snapshot(&self) -> AuditSnapshot {
+        let bs = self.block_size;
+        AuditSnapshot {
+            t_s: self.last_t,
+            batches_checked: self.batches_checked,
+            in_flight: self.in_flight,
+            depth: self.depth,
+            live_kv_seqs: self.ctx.len(),
+            shadow_used_blocks: self.ctx.values().map(|&c| c.div_ceil(bs)).sum(),
+            total_blocks: self.total_blocks,
+            violations: self.violations.len(),
+        }
+    }
+
+    /// Consume the auditor into the final report. When the engine drained
+    /// cleanly, also verifies nothing leaked: no live shadow allocations
+    /// and nothing in flight.
+    pub fn into_report(self, drained: bool) -> AuditReport {
+        let mut this = self;
+        if drained {
+            if !this.ctx.is_empty() {
+                let leaked: Vec<u64> = this.ctx.keys().copied().collect();
+                let t = this.last_t;
+                this.violate(
+                    t,
+                    None,
+                    Invariant::KvAccounting,
+                    format!("drained run left shadow KV for seqs {leaked:?}"),
+                );
+            }
+            if this.in_flight != 0 {
+                let (t, n) = (this.last_t, this.in_flight);
+                this.violate(
+                    t,
+                    None,
+                    Invariant::PipelineDepth,
+                    format!("drained run left {n} batches in flight"),
+                );
+            }
+        }
+        let final_snapshot = this.snapshot();
+        AuditReport {
+            violations: this.violations,
+            batches_checked: this.batches_checked,
+            final_snapshot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gllm_core::{BatchPlan, DecodeSlot, PrefillChunk};
+
+    fn chunk(seq: u64, tokens: usize, context_before: usize, completes: bool) -> PrefillChunk {
+        PrefillChunk { seq, tokens, context_before, completes_prompt: completes }
+    }
+
+    fn slot(seq: u64, context_before: usize) -> DecodeSlot {
+        DecodeSlot { seq, context_before }
+    }
+
+    fn obs(free: usize, used: usize) -> KvObservation {
+        KvObservation { free_blocks: free, used_blocks: used }
+    }
+
+    #[test]
+    fn blocks_to_append_rounds_like_the_page_table() {
+        assert_eq!(blocks_to_append(0, 1, 16), 1);
+        assert_eq!(blocks_to_append(0, 16, 16), 1);
+        assert_eq!(blocks_to_append(0, 17, 16), 2);
+        assert_eq!(blocks_to_append(15, 1, 16), 0);
+        assert_eq!(blocks_to_append(16, 1, 16), 1);
+        assert_eq!(blocks_to_append(20, 12, 16), 0);
+        assert_eq!(blocks_to_append(20, 13, 16), 1);
+    }
+
+    #[test]
+    fn clean_schedule_and_complete_pass() {
+        let mut a = InvariantAuditor::new(8, 16, 2);
+        a.on_arrival(1);
+        let plan = BatchPlan { prefill: vec![chunk(1, 20, 0, true)], decode: vec![] };
+        a.on_schedule(0.0, 0, &plan, &plan, None, obs(8, 0), obs(6, 2));
+        let decode = BatchPlan { prefill: vec![], decode: vec![slot(1, 20)] };
+        a.on_complete(0.1, 0, &[], obs(6, 2));
+        a.on_schedule(0.2, 1, &decode, &decode, None, obs(6, 2), obs(6, 2));
+        a.on_complete(0.3, 1, &[1], obs(8, 0));
+        assert!(a.is_clean(), "{:?}", a.violations());
+        assert!(a.into_report(true).is_clean());
+    }
+
+    #[test]
+    fn token_granular_decode_reserve_trips_overcommit() {
+        // The pre-fix TokenThrottle bug: 4 decodes at full blocks need 4
+        // new blocks, but the policy reserved 4 *tokens* and carved a
+        // 63-token prefill into 5 free blocks.
+        let mut a = InvariantAuditor::new(24, 16, 4);
+        for s in 0..5 {
+            a.on_arrival(s);
+        }
+        let proposed = BatchPlan {
+            prefill: vec![chunk(4, 63, 0, false)],
+            decode: (0..4).map(|s| slot(s, 64)).collect(),
+        };
+        // Admission trimmed the chunk to what actually fits — the proposal
+        // is still wrong.
+        let committed = BatchPlan {
+            prefill: vec![chunk(4, 16, 0, false)],
+            decode: (0..4).map(|s| slot(s, 64)).collect(),
+        };
+        for s in 0..4 {
+            // Shadow contexts: 4 decodes already hold 64 tokens each.
+            a.ctx.insert(s, 64);
+            a.started.insert(s);
+        }
+        a.on_schedule(1.0, 0, &proposed, &committed, None, obs(5, 19), obs(0, 24));
+        assert!(
+            a.violations().iter().any(|v| v.invariant == Invariant::KvOvercommit),
+            "{:?}",
+            a.violations()
+        );
+    }
+
+    #[test]
+    fn depth_overflow_is_reported() {
+        let mut a = InvariantAuditor::new(64, 16, 1);
+        a.on_arrival(1);
+        a.on_arrival(2);
+        let p1 = BatchPlan { prefill: vec![chunk(1, 8, 0, true)], decode: vec![] };
+        let p2 = BatchPlan { prefill: vec![chunk(2, 8, 0, true)], decode: vec![] };
+        a.on_schedule(0.0, 0, &p1, &p1, None, obs(64, 0), obs(63, 1));
+        a.on_schedule(0.1, 1, &p2, &p2, None, obs(63, 1), obs(62, 2));
+        assert!(a.violations().iter().any(|v| v.invariant == Invariant::PipelineDepth));
+    }
+
+    #[test]
+    fn budget_conformance_catches_over_budget_and_grown_plans() {
+        let mut a = InvariantAuditor::new(64, 16, 4);
+        a.on_arrival(1);
+        let proposed = BatchPlan { prefill: vec![chunk(1, 100, 0, false)], decode: vec![] };
+        let committed = proposed.clone();
+        a.on_schedule(
+            0.0,
+            0,
+            &proposed,
+            &committed,
+            Some(PlanCaps { prefill_tokens: 50, decode_seqs: 0 }),
+            obs(64, 0),
+            obs(57, 7),
+        );
+        assert!(a.violations().iter().any(|v| v.invariant == Invariant::BudgetConformance));
+
+        let mut b = InvariantAuditor::new(64, 16, 4);
+        b.on_arrival(1);
+        let grown = BatchPlan { prefill: vec![chunk(1, 120, 0, false)], decode: vec![] };
+        b.on_schedule(0.0, 0, &proposed, &grown, None, obs(64, 0), obs(56, 8));
+        assert!(b.violations().iter().any(|v| v.invariant == Invariant::BudgetConformance));
+    }
+
+    #[test]
+    fn fcfs_inversion_is_reported() {
+        let mut a = InvariantAuditor::new(64, 16, 4);
+        a.on_arrival(1); // earlier arrival, never started
+        a.on_arrival(2);
+        let plan = BatchPlan { prefill: vec![chunk(2, 8, 0, true)], decode: vec![] };
+        a.on_schedule(0.0, 0, &plan, &plan, None, obs(64, 0), obs(63, 1));
+        assert!(a.violations().iter().any(|v| v.invariant == Invariant::FcfsAdmission));
+    }
+
+    #[test]
+    fn fcfs_allows_restart_after_preemption_and_aborted_heads() {
+        let mut a = InvariantAuditor::new(64, 16, 4);
+        a.on_arrival(1);
+        a.on_arrival(2);
+        a.on_arrival(3);
+        a.on_abort(1); // head rejected: seq 2 may start
+        let p2 = BatchPlan { prefill: vec![chunk(2, 8, 0, false)], decode: vec![] };
+        a.on_schedule(0.0, 0, &p2, &p2, None, obs(64, 0), obs(63, 1));
+        a.on_complete(0.1, 0, &[], obs(63, 1));
+        // Seq 2 is preempted; seq 3 may still start because 2 *started*.
+        a.on_evict(2);
+        let p3 = BatchPlan { prefill: vec![chunk(3, 8, 0, false)], decode: vec![] };
+        a.on_schedule(0.2, 1, &p3, &p3, None, obs(64, 0), obs(63, 1));
+        assert!(a.is_clean(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn kv_mismatch_is_reported() {
+        let mut a = InvariantAuditor::new(8, 16, 2);
+        a.on_arrival(1);
+        let plan = BatchPlan { prefill: vec![chunk(1, 20, 0, true)], decode: vec![] };
+        // 20 tokens = 2 blocks, but the "manager" claims only 1 is used.
+        a.on_schedule(0.0, 0, &plan, &plan, None, obs(8, 0), obs(7, 1));
+        assert!(a.violations().iter().any(|v| v.invariant == Invariant::KvAccounting));
+    }
+
+    #[test]
+    fn drained_run_with_leftover_kv_is_a_leak() {
+        let mut a = InvariantAuditor::new(8, 16, 2);
+        a.on_arrival(1);
+        let plan = BatchPlan { prefill: vec![chunk(1, 20, 0, true)], decode: vec![] };
+        a.on_schedule(0.0, 0, &plan, &plan, None, obs(8, 0), obs(6, 2));
+        a.on_complete(0.1, 0, &[], obs(6, 2));
+        let report = a.into_report(true);
+        assert!(!report.is_clean());
+        assert!(report.violations.iter().any(|v| v.detail.contains("leak") || v.detail.contains("left shadow KV")));
+    }
+}

@@ -14,11 +14,23 @@
 //! [`report::ServingReport`] reduces them to the numbers the paper plots;
 //! [`series`] holds the time-series probes behind Figures 1 and 4 (batched
 //! token counts per iteration, GPU busy intervals → utilisation curves).
+//!
+//! Two correctness-facing layers ride alongside the metrics:
+//!
+//! * [`audit::InvariantAuditor`] shadows the scheduler from its event
+//!   stream and flags KV-accounting, overcommit, pipeline-depth, budget
+//!   and FCFS violations as they happen;
+//! * [`trace::PipelineTrace`] is a structured per-batch event log with a
+//!   Chrome `trace_event` exporter for chrome://tracing / Perfetto.
 
+pub mod audit;
 pub mod recorder;
 pub mod report;
 pub mod series;
+pub mod trace;
 
+pub use audit::{AuditReport, AuditSnapshot, InvariantAuditor, Invariant, KvObservation, PlanCaps, Violation};
 pub use recorder::{MetricsRecorder, RequestTimeline};
 pub use report::{ServingReport, SloSpec};
 pub use series::{BusyTracker, TokenTrace, TokenTracePoint};
+pub use trace::{PipelineTrace, TraceEvent, TraceEventKind};

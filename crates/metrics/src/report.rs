@@ -78,9 +78,12 @@ impl ServingReport {
         let tpots: Vec<f64> = finished.iter().filter_map(|t| t.tpot()).collect();
         let e2els: Vec<f64> = finished.iter().filter_map(|t| t.e2el()).collect();
 
-        let start = timelines
+        // Both endpoints fold over *finished* requests: throughput divides
+        // finished tokens by this span, so an early-arriving request that
+        // never finished must not stretch it.
+        let start = finished
             .iter()
-            .map(|(_, t)| t.arrival_s)
+            .map(|t| t.arrival_s)
             .fold(f64::INFINITY, f64::min);
         let end = finished
             .iter()
@@ -207,6 +210,25 @@ mod tests {
         assert_eq!(rep.total_requests, 3);
         assert_eq!(rep.finished_requests, 2);
         assert!((rep.mean_ttft_s - 0.25).abs() < 1e-12, "straggler leaked in");
+    }
+
+    #[test]
+    fn makespan_ignores_unfinished_early_arrivals() {
+        // Regression: `start` used to fold arrivals over ALL timelines
+        // while `end` folded finishes over FINISHED ones, so an unfinished
+        // request arriving at t=0 stretched the makespan (and deflated
+        // throughput) of work that really spanned 2.0 → 4.0.
+        let mut r = MetricsRecorder::new();
+        r.on_arrival(0, 0.0, 10); // never finishes
+        r.on_token(0, 3.0);
+        r.on_arrival(1, 2.0, 40);
+        r.on_token(1, 3.5);
+        r.on_token(1, 4.0);
+        r.on_finish(1, 4.0);
+        let rep = ServingReport::from_recorder(&r);
+        assert!((rep.makespan_s - 2.0).abs() < 1e-12, "got {}", rep.makespan_s);
+        // 40 input + 2 output tokens over the finished span only.
+        assert!((rep.throughput_tok_s - 21.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Structured per-batch pipeline event log with a Chrome `trace_event`
+//! exporter.
+//!
+//! The simulator and the threaded runtime both emit the same event
+//! vocabulary — schedule, stage execution, inter-stage comm, batch
+//! completion, preemption — into a [`PipelineTrace`]. The trace can be
+//! consumed programmatically (e.g. [`PipelineTrace::stage_busy_total`]
+//! cross-checks the `BusyTracker` utilization numbers) or exported as
+//! Chrome `trace_event` JSON for chrome://tracing / Perfetto, where each
+//! pipeline stage renders as a timeline row with its compute spans and a
+//! separate row for its outbound comm.
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// What happened at one trace point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEventKind {
+    /// A micro-batch was committed by the scheduler.
+    Schedule {
+        /// Micro-batch id.
+        batch: u64,
+        /// Batched prefill tokens.
+        prefill_tokens: usize,
+        /// Decode slots in the batch.
+        decode_tokens: usize,
+        /// Distinct sequences in the batch.
+        num_seqs: usize,
+    },
+    /// A stage executed the batch over `[t_s, end_s)`.
+    Stage {
+        /// Micro-batch id.
+        batch: u64,
+        /// Pipeline stage index.
+        stage: usize,
+        /// Span end, seconds.
+        end_s: f64,
+    },
+    /// Activations moved from `from_stage` to the next stage over
+    /// `[t_s, end_s)`.
+    Comm {
+        /// Micro-batch id.
+        batch: u64,
+        /// Sending stage index.
+        from_stage: usize,
+        /// Span end, seconds.
+        end_s: f64,
+    },
+    /// The batch left the last stage.
+    Complete {
+        /// Micro-batch id.
+        batch: u64,
+        /// Tokens emitted by the batch.
+        emitted: usize,
+        /// Sequences that finished with it.
+        finished: usize,
+    },
+    /// A sequence's KV was evicted for recomputation.
+    Preempt {
+        /// Preempted sequence id.
+        seq: u64,
+    },
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceEvent {
+    /// Event time (span start for `Stage`/`Comm`), seconds.
+    pub t_s: f64,
+    /// Payload.
+    pub kind: TraceEventKind,
+}
+
+/// Append-only event log; disabled instances drop events for free.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineTrace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl PipelineTrace {
+    /// An enabled (recording) or disabled (no-op) trace.
+    pub fn new(enabled: bool) -> Self {
+        Self { enabled, events: Vec::new() }
+    }
+
+    /// True when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Recorded events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    fn push(&mut self, t_s: f64, kind: TraceEventKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { t_s, kind });
+        }
+    }
+
+    /// Record a scheduling decision.
+    pub fn schedule(&mut self, t_s: f64, batch: u64, prefill_tokens: usize, decode_tokens: usize, num_seqs: usize) {
+        self.push(t_s, TraceEventKind::Schedule { batch, prefill_tokens, decode_tokens, num_seqs });
+    }
+
+    /// Record a stage-execution span.
+    pub fn stage(&mut self, start_s: f64, end_s: f64, batch: u64, stage: usize) {
+        self.push(start_s, TraceEventKind::Stage { batch, stage, end_s });
+    }
+
+    /// Record an inter-stage transfer span.
+    pub fn comm(&mut self, start_s: f64, end_s: f64, batch: u64, from_stage: usize) {
+        self.push(start_s, TraceEventKind::Comm { batch, from_stage, end_s });
+    }
+
+    /// Record a batch completion.
+    pub fn complete(&mut self, t_s: f64, batch: u64, emitted: usize, finished: usize) {
+        self.push(t_s, TraceEventKind::Complete { batch, emitted, finished });
+    }
+
+    /// Record a recompute preemption.
+    pub fn preempt(&mut self, t_s: f64, seq: u64) {
+        self.push(t_s, TraceEventKind::Preempt { seq });
+    }
+
+    /// Total stage-busy seconds summed over all `Stage` spans — comparable
+    /// to `BusyTracker::total_busy_s` when both observe the same run.
+    pub fn stage_busy_total(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Stage { end_s, .. } => Some((end_s - e.t_s).max(0.0)),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Highest stage index seen, if any stage span was recorded.
+    fn max_stage(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Stage { stage, .. } => Some(stage),
+                TraceEventKind::Comm { from_stage, .. } => Some(from_stage),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Export as a Chrome `trace_event` JSON document (load in
+    /// chrome://tracing or <https://ui.perfetto.dev>). Stage spans are
+    /// `ph:"X"` duration events on tid = stage index; comm spans land on
+    /// tid = 100 + stage so transfers render under their sender; schedule
+    /// / complete / preempt become `ph:"i"` instants on a scheduler row.
+    pub fn to_chrome_trace(&self) -> Value {
+        const SCHED_TID: u64 = 99;
+        let us = |s: f64| (s * 1e6).max(0.0);
+        let mut events: Vec<Value> = Vec::new();
+
+        let meta = |tid: u64, name: &str| {
+            Value::Object(vec![
+                ("name".into(), Value::Str("thread_name".into())),
+                ("ph".into(), Value::Str("M".into())),
+                ("pid".into(), Value::UInt(0)),
+                ("tid".into(), Value::UInt(tid)),
+                (
+                    "args".into(),
+                    Value::Object(vec![("name".into(), Value::Str(name.into()))]),
+                ),
+            ])
+        };
+        if let Some(max) = self.max_stage() {
+            for s in 0..=max {
+                events.push(meta(s as u64, &format!("stage {s}")));
+                events.push(meta(100 + s as u64, &format!("stage {s} comm out")));
+            }
+        }
+        events.push(meta(SCHED_TID, "scheduler"));
+
+        type Row = (String, &'static str, u64, Option<f64>, Vec<(String, Value)>);
+        for e in &self.events {
+            let (name, ph, tid, dur_us, args): Row =
+                match &e.kind {
+                    TraceEventKind::Schedule { batch, prefill_tokens, decode_tokens, num_seqs } => (
+                        format!("schedule b{batch}"),
+                        "i",
+                        SCHED_TID,
+                        None,
+                        vec![
+                            ("batch".into(), Value::UInt(*batch)),
+                            ("prefill_tokens".into(), Value::UInt(*prefill_tokens as u64)),
+                            ("decode_tokens".into(), Value::UInt(*decode_tokens as u64)),
+                            ("num_seqs".into(), Value::UInt(*num_seqs as u64)),
+                        ],
+                    ),
+                    TraceEventKind::Stage { batch, stage, end_s } => (
+                        format!("b{batch}"),
+                        "X",
+                        *stage as u64,
+                        Some(us(*end_s) - us(e.t_s)),
+                        vec![("batch".into(), Value::UInt(*batch))],
+                    ),
+                    TraceEventKind::Comm { batch, from_stage, end_s } => (
+                        format!("b{batch} send"),
+                        "X",
+                        100 + *from_stage as u64,
+                        Some(us(*end_s) - us(e.t_s)),
+                        vec![("batch".into(), Value::UInt(*batch))],
+                    ),
+                    TraceEventKind::Complete { batch, emitted, finished } => (
+                        format!("complete b{batch}"),
+                        "i",
+                        SCHED_TID,
+                        None,
+                        vec![
+                            ("batch".into(), Value::UInt(*batch)),
+                            ("emitted".into(), Value::UInt(*emitted as u64)),
+                            ("finished".into(), Value::UInt(*finished as u64)),
+                        ],
+                    ),
+                    TraceEventKind::Preempt { seq } => (
+                        format!("preempt s{seq}"),
+                        "i",
+                        SCHED_TID,
+                        None,
+                        vec![("seq".into(), Value::UInt(*seq))],
+                    ),
+                };
+            let mut fields = vec![
+                ("name".into(), Value::Str(name)),
+                ("ph".into(), Value::Str(ph.into())),
+                ("pid".into(), Value::UInt(0)),
+                ("tid".into(), Value::UInt(tid)),
+                ("ts".into(), Value::Float(us(e.t_s))),
+            ];
+            if let Some(d) = dur_us {
+                fields.push(("dur".into(), Value::Float(d.max(0.0))));
+            }
+            if ph == "i" {
+                // Instant scope: thread.
+                fields.push(("s".into(), Value::Str("t".into())));
+            }
+            fields.push(("args".into(), Value::Object(args)));
+            events.push(Value::Object(fields));
+        }
+
+        Value::Object(vec![
+            ("traceEvents".into(), Value::Array(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ])
+    }
+
+    /// [`Self::to_chrome_trace`] rendered as a compact JSON string.
+    pub fn to_chrome_trace_string(&self) -> String {
+        self.to_chrome_trace().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineTrace {
+        let mut t = PipelineTrace::new(true);
+        t.schedule(0.0, 0, 128, 4, 5);
+        t.stage(0.0, 0.010, 0, 0);
+        t.comm(0.010, 0.011, 0, 0);
+        t.stage(0.011, 0.021, 0, 1);
+        t.preempt(0.015, 7);
+        t.complete(0.021, 0, 5, 1);
+        t
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = PipelineTrace::new(false);
+        t.schedule(0.0, 0, 1, 1, 1);
+        t.stage(0.0, 1.0, 0, 0);
+        assert!(t.events().is_empty());
+        assert_eq!(t.stage_busy_total(), 0.0);
+    }
+
+    #[test]
+    fn stage_busy_total_sums_stage_spans_only() {
+        let t = sample();
+        assert!((t.stage_busy_total() - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_instants_and_metadata() {
+        let doc = sample().to_chrome_trace();
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(doc["displayTimeUnit"], "ms");
+
+        let phase = |v: &Value| v["ph"].as_str().unwrap_or("").to_string();
+        let spans: Vec<&Value> = events.iter().filter(|e| phase(e) == "X").collect();
+        let instants: Vec<&Value> = events.iter().filter(|e| phase(e) == "i").collect();
+        let metas: Vec<&Value> = events.iter().filter(|e| phase(e) == "M").collect();
+        assert_eq!(spans.len(), 3, "2 stage spans + 1 comm span");
+        assert_eq!(instants.len(), 3, "schedule + preempt + complete");
+        // Stages 0 and 1 each get a compute and a comm row, plus scheduler.
+        assert_eq!(metas.len(), 5);
+
+        // A stage span carries µs timestamps and lands on its stage's tid.
+        let s1 = spans
+            .iter()
+            .find(|e| e["tid"] == 1u64)
+            .expect("stage-1 span");
+        assert!((s1["ts"].as_f64().unwrap() - 11_000.0).abs() < 1e-6);
+        assert!((s1["dur"].as_f64().unwrap() - 10_000.0).abs() < 1e-6);
+        // Comm rides on tid 100 + sender.
+        assert!(spans.iter().any(|e| e["tid"] == 100u64));
+
+        // The document is valid JSON text end-to-end.
+        let text = sample().to_chrome_trace_string();
+        let parsed: Value = serde_json::from_str(&text).expect("round-trips");
+        assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), events.len());
+    }
+}

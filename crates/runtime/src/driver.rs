@@ -9,13 +9,16 @@
 //! downstream stages.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use gllm_core::{admit, BatchPlan, RequestPool, SchedulePolicy};
 use gllm_kvcache::KvCacheManager;
-use gllm_metrics::MetricsRecorder;
+use gllm_metrics::{
+    AuditReport, AuditSnapshot, InvariantAuditor, KvObservation, MetricsRecorder, PipelineTrace,
+    PlanCaps,
+};
 use gllm_transformer::model::BatchChunk;
 use gllm_transformer::sampler::{sample, SamplingParams};
 use gllm_transformer::StageModel;
@@ -32,7 +35,18 @@ struct SeqInfo {
     params: SamplingParams,
 }
 
-/// The driver loop. Returns the metrics recorder at shutdown.
+/// Everything the driver thread hands back at shutdown.
+#[derive(Debug)]
+pub struct DriverOutput {
+    /// Per-request timelines.
+    pub recorder: MetricsRecorder,
+    /// Invariant-audit report (`None` when auditing was off).
+    pub audit: Option<AuditReport>,
+    /// Structured per-batch pipeline events (empty unless recording was on).
+    pub trace: PipelineTrace,
+}
+
+/// The driver loop. Returns the metrics, audit and trace at shutdown.
 #[allow(clippy::too_many_arguments)]
 pub fn run_driver(
     mut stage0: StageModel,
@@ -46,7 +60,10 @@ pub fn run_driver(
     depth: usize,
     max_seqs_per_batch: usize,
     cpp: bool,
-) -> MetricsRecorder {
+    audit: bool,
+    record_trace: bool,
+    audit_state: Arc<Mutex<Option<AuditSnapshot>>>,
+) -> DriverOutput {
     let t0 = Instant::now();
     let mut pool = RequestPool::new(max_seqs_per_batch).with_cpp(cpp);
     let mut recorder = MetricsRecorder::new();
@@ -56,12 +73,16 @@ pub fn run_driver(
     let mut in_flight = 0usize;
     let mut shutting_down = false;
     let single_stage = meta_txs.is_empty();
+    let mut auditor =
+        audit.then(|| InvariantAuditor::new(kvm.stats().total_blocks, kvm.block_size(), depth));
+    let mut ptrace = PipelineTrace::new(record_trace);
 
     loop {
         crossbeam::channel::select! {
             recv(req_rx) -> msg => match msg {
                 Ok(DriverMsg::Submit(r)) => on_submit(
                     r, t0, &mut pool, &mut recorder, &mut seqs, &kvm, &stream_tx,
+                    &mut auditor,
                 ),
                 Ok(DriverMsg::Shutdown) | Err(_) => shutting_down = true,
             },
@@ -69,7 +90,8 @@ pub fn run_driver(
                 if let Ok(res) = res {
                     on_result(
                         res, t0, &mut pool, &mut kvm, &mut recorder, &mut seqs,
-                        &mut plans, &mut in_flight, &stream_tx,
+                        &mut plans, &mut in_flight, &stream_tx, &mut auditor,
+                        &mut ptrace, &audit_state,
                     );
                 }
             },
@@ -78,16 +100,17 @@ pub fn run_driver(
         // Drain whatever else is ready before scheduling.
         while let Ok(msg) = req_rx.try_recv() {
             match msg {
-                DriverMsg::Submit(r) => {
-                    on_submit(r, t0, &mut pool, &mut recorder, &mut seqs, &kvm, &stream_tx)
-                }
+                DriverMsg::Submit(r) => on_submit(
+                    r, t0, &mut pool, &mut recorder, &mut seqs, &kvm, &stream_tx,
+                    &mut auditor,
+                ),
                 DriverMsg::Shutdown => shutting_down = true,
             }
         }
         while let Ok(res) = result_rx.try_recv() {
             on_result(
                 res, t0, &mut pool, &mut kvm, &mut recorder, &mut seqs, &mut plans,
-                &mut in_flight, &stream_tx,
+                &mut in_flight, &stream_tx, &mut auditor, &mut ptrace, &audit_state,
             );
         }
 
@@ -96,11 +119,22 @@ pub fn run_driver(
             let view = pool.view(
                 kvm.free_rate(),
                 kvm.free_blocks() * kvm.block_size(),
+                kvm.block_size(),
                 depth,
             );
-            let admission = admit(policy.plan(&view), &mut pool, &mut kvm);
+            let kv_before = kv_obs(&kvm);
+            let caps = policy
+                .budget_caps(&view)
+                .map(|(prefill_tokens, decode_seqs)| PlanCaps { prefill_tokens, decode_seqs });
+            let proposed = policy.plan(&view);
+            let proposed_copy = auditor.as_ref().map(|_| proposed.clone());
+            let admission = admit(proposed, &mut pool, &mut kvm);
             for &victim in &admission.preempted {
                 recorder.on_preemption(victim);
+                ptrace.preempt(t0.elapsed().as_secs_f64(), victim);
+                if let Some(a) = auditor.as_mut() {
+                    a.on_evict(victim);
+                }
             }
             let plan = admission.plan;
             if plan.is_empty() {
@@ -110,6 +144,10 @@ pub fn run_driver(
                             kvm.evict(victim).expect("victim held KV");
                         }
                         recorder.on_preemption(victim);
+                        ptrace.preempt(t0.elapsed().as_secs_f64(), victim);
+                        if let Some(a) = auditor.as_mut() {
+                            a.on_evict(victim);
+                        }
                         continue;
                     }
                 }
@@ -118,6 +156,12 @@ pub fn run_driver(
             pool.commit(&plan);
             let batch = next_batch;
             next_batch += 1;
+            let now = t0.elapsed().as_secs_f64();
+            if let (Some(a), Some(proposed)) = (auditor.as_mut(), proposed_copy.as_ref()) {
+                a.on_schedule(now, batch, proposed, &plan, caps, kv_before, kv_obs(&kvm));
+                *audit_state.lock().expect("audit state lock") = Some(a.snapshot());
+            }
+            ptrace.schedule(now, batch, plan.prefill_tokens(), plan.decode_tokens(), plan.num_seqs());
             let meta = build_meta(batch, &plan, &pool, &kvm, &seqs);
             // Preemptive metadata: every worker learns the batch layout
             // before any activations move.
@@ -126,8 +170,10 @@ pub fn run_driver(
             }
             // Stage-0 execution (the driver is a worker too).
             let tables: Vec<_> = meta.tables.iter().collect();
+            let stage_start = t0.elapsed().as_secs_f64();
             let mut hidden = stage0.embed(&meta.chunks);
             stage0.forward(&meta.chunks, &tables, &mut hidden);
+            ptrace.stage(stage_start, t0.elapsed().as_secs_f64(), batch, 0);
             plans.insert(batch, plan);
             in_flight += 1;
             if single_stage {
@@ -147,7 +193,7 @@ pub fn run_driver(
                 on_result(
                     BatchResult { batch, tokens },
                     t0, &mut pool, &mut kvm, &mut recorder, &mut seqs, &mut plans,
-                    &mut in_flight, &stream_tx,
+                    &mut in_flight, &stream_tx, &mut auditor, &mut ptrace, &audit_state,
                 );
             } else {
                 act_tx
@@ -165,9 +211,21 @@ pub fn run_driver(
     for tx in &meta_txs {
         let _ = tx.send(WorkerMsg::Shutdown);
     }
-    recorder
+    let drained = !pool.has_work();
+    DriverOutput {
+        recorder,
+        audit: auditor.map(|a| a.into_report(drained)),
+        trace: ptrace,
+    }
 }
 
+/// Snapshot the KV manager for the auditor.
+fn kv_obs(kvm: &KvCacheManager) -> KvObservation {
+    let s = kvm.stats();
+    KvObservation { free_blocks: s.free_blocks, used_blocks: s.used_blocks }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn on_submit(
     r: GenRequest,
     t0: Instant,
@@ -176,13 +234,20 @@ fn on_submit(
     seqs: &mut HashMap<u64, SeqInfo>,
     kvm: &KvCacheManager,
     stream_tx: &Sender<StreamEvent>,
+    auditor: &mut Option<InvariantAuditor>,
 ) {
     let now = t0.elapsed().as_secs_f64();
     recorder.on_arrival(r.id, now, r.prompt.len());
+    if let Some(a) = auditor.as_mut() {
+        a.on_arrival(r.id);
+    }
     if r.prompt.is_empty()
         || r.max_new == 0
         || r.prompt.len() + r.max_new + kvm.block_size() > kvm.token_capacity()
     {
+        if let Some(a) = auditor.as_mut() {
+            a.on_abort(r.id);
+        }
         let _ = stream_tx.send(StreamEvent::Rejected { seq: r.id });
         return;
     }
@@ -201,6 +266,9 @@ fn on_result(
     plans: &mut HashMap<u64, BatchPlan>,
     in_flight: &mut usize,
     stream_tx: &Sender<StreamEvent>,
+    auditor: &mut Option<InvariantAuditor>,
+    ptrace: &mut PipelineTrace,
+    audit_state: &Mutex<Option<AuditSnapshot>>,
 ) {
     let plan = plans.remove(&res.batch).expect("result for unknown batch");
     let outcome = pool.complete(&plan);
@@ -219,6 +287,11 @@ fn on_result(
         let _ = stream_tx.send(StreamEvent::Token { seq: e.seq, token, finished: e.finished });
     }
     *in_flight -= 1;
+    ptrace.complete(now, res.batch, outcome.emitted.len(), outcome.finished.len());
+    if let Some(a) = auditor.as_mut() {
+        a.on_complete(now, res.batch, &outcome.finished, kv_obs(kvm));
+        *audit_state.lock().expect("audit state lock") = Some(a.snapshot());
+    }
 }
 
 /// Assemble the broadcast metadata for an admitted, committed plan.

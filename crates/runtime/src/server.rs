@@ -1,18 +1,18 @@
 //! The serving frontend: spawn, submit, stream, shut down.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gllm_core::SchedulePolicy;
 use gllm_kvcache::KvCacheManager;
-use gllm_metrics::MetricsRecorder;
+use gllm_metrics::{AuditSnapshot, MetricsRecorder};
 use gllm_model::ModelConfig;
 use gllm_transformer::StageModel;
 
-use crate::driver::run_driver;
+use crate::driver::{run_driver, DriverOutput};
 use crate::messages::{DriverMsg, GenRequest, StreamEvent};
 use crate::worker::{run_worker, StageOutput};
 
@@ -35,6 +35,15 @@ pub struct RuntimeConfig {
     /// Chunked pipeline parallelism: overlap a request's prefill chunks
     /// across stages (§3.4). Outputs are bit-identical either way.
     pub cpp: bool,
+    /// Run the invariant auditor on every schedule/complete transition.
+    /// Cheap (shadow counters only) and on by default.
+    pub audit: bool,
+    /// Record the structured pipeline trace (schedule/stage/complete
+    /// events; exportable as a Chrome trace).
+    pub record_trace: bool,
+    /// How long [`Server::generate_all`] waits without any stream event
+    /// before declaring the runtime stalled.
+    pub stall_timeout: Duration,
 }
 
 impl RuntimeConfig {
@@ -48,9 +57,51 @@ impl RuntimeConfig {
             max_seqs_per_batch: 64,
             seed: 2024,
             cpp: false,
+            audit: true,
+            record_trace: false,
+            stall_timeout: Duration::from_secs(60),
         }
     }
 }
+
+/// The runtime stopped producing stream events for a full timeout window.
+///
+/// Carries the auditor's last snapshot (when auditing is on) so a stall is
+/// diagnosable post-mortem: how many batches were in flight, what the KV
+/// shadow accounting looked like, and any violations detected before the
+/// pipeline wedged.
+#[derive(Debug, Clone)]
+pub struct StallError {
+    /// How long we waited for the next event.
+    pub waited: Duration,
+    /// Requests still open (submitted, neither finished nor rejected).
+    pub pending: usize,
+    /// The auditor's state as of the last schedule/complete transition.
+    pub snapshot: Option<AuditSnapshot>,
+}
+
+impl std::fmt::Display for StallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runtime stalled: no stream events within {:.1} s with {} request(s) pending",
+            self.waited.as_secs_f64(),
+            self.pending
+        )?;
+        match &self.snapshot {
+            Some(s) => write!(
+                f,
+                " (audit: {} batches checked, {} in flight, {} violations)",
+                s.batches_checked,
+                s.in_flight,
+                s.violations
+            ),
+            None => write!(f, " (audit off)"),
+        }
+    }
+}
+
+impl std::error::Error for StallError {}
 
 /// A cloneable handle that can submit requests to a running [`Server`].
 #[derive(Clone)]
@@ -71,8 +122,10 @@ impl Submitter {
 pub struct Server {
     req_tx: Sender<DriverMsg>,
     stream_rx: Receiver<StreamEvent>,
-    driver: Option<JoinHandle<MetricsRecorder>>,
+    driver: Option<JoinHandle<DriverOutput>>,
     workers: Vec<JoinHandle<()>>,
+    audit_state: Arc<Mutex<Option<AuditSnapshot>>>,
+    stall_timeout: Duration,
 }
 
 impl Server {
@@ -103,6 +156,7 @@ impl Server {
         let mut workers = Vec::with_capacity(cfg.num_stages.saturating_sub(1));
         let mut first_act_tx = None;
         let mut next_act_rx: Option<Receiver<_>> = None;
+        #[allow(clippy::needless_range_loop)] // stage index is the wiring key
         for s in 1..cfg.num_stages {
             let (meta_tx, meta_rx) = unbounded();
             meta_txs.push(meta_tx);
@@ -144,14 +198,25 @@ impl Server {
         let depth = cfg.num_stages;
         let max_seqs = cfg.max_seqs_per_batch;
         let cpp = cfg.cpp;
+        let audit = cfg.audit;
+        let record_trace = cfg.record_trace;
+        let audit_state = Arc::new(Mutex::new(None));
+        let audit_state_driver = Arc::clone(&audit_state);
         let driver = std::thread::spawn(move || {
             run_driver(
                 stage0, policy, kvm, req_rx, meta_txs, first_act_tx, result_rx, stream_tx,
-                depth, max_seqs, cpp,
+                depth, max_seqs, cpp, audit, record_trace, audit_state_driver,
             )
         });
 
-        Self { req_tx, stream_rx, driver: Some(driver), workers }
+        Self {
+            req_tx,
+            stream_rx,
+            driver: Some(driver),
+            workers,
+            audit_state,
+            stall_timeout: cfg.stall_timeout,
+        }
     }
 
     /// Submit a generation request.
@@ -172,10 +237,22 @@ impl Server {
         self.stream_rx.recv_timeout(timeout).ok()
     }
 
+    /// The auditor's state as of the last schedule/complete transition
+    /// (`None` before the first batch or when auditing is off).
+    pub fn audit_snapshot(&self) -> Option<AuditSnapshot> {
+        self.audit_state.lock().expect("audit state lock").clone()
+    }
+
     /// Submit `reqs` and block until each finishes (or is rejected),
     /// returning the generated tokens per request id. Rejected requests
     /// map to an empty vector.
-    pub fn generate_all(&self, reqs: Vec<GenRequest>) -> HashMap<u64, Vec<u32>> {
+    ///
+    /// Errors with [`StallError`] — carrying the auditor's last snapshot —
+    /// if no stream event arrives within the configured stall timeout.
+    pub fn generate_all(
+        &self,
+        reqs: Vec<GenRequest>,
+    ) -> Result<HashMap<u64, Vec<u32>>, StallError> {
         let mut out: HashMap<u64, Vec<u32>> = HashMap::new();
         let mut open = reqs.len();
         for r in reqs {
@@ -183,7 +260,7 @@ impl Server {
             self.submit(r);
         }
         while open > 0 {
-            match self.next_event(Duration::from_secs(60)) {
+            match self.next_event(self.stall_timeout) {
                 Some(StreamEvent::Token { seq, token, finished }) => {
                     out.get_mut(&seq).expect("event for unknown request").push(token);
                     if finished {
@@ -194,17 +271,24 @@ impl Server {
                     out.get_mut(&seq).expect("event for unknown request").clear();
                     open -= 1;
                 }
-                None => panic!("runtime stalled: no events within 60 s"),
+                None => {
+                    return Err(StallError {
+                        waited: self.stall_timeout,
+                        pending: open,
+                        snapshot: self.audit_snapshot(),
+                    })
+                }
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Drain in-flight work, stop every thread and return the driver's
-    /// metrics.
-    pub fn shutdown(mut self) -> MetricsRecorder {
+    /// Drain in-flight work, stop every thread and return everything the
+    /// driver produced: metrics, audit report and pipeline trace. Does
+    /// *not* assert audit cleanliness — callers inspect the report.
+    pub fn shutdown_full(mut self) -> DriverOutput {
         let _ = self.req_tx.send(DriverMsg::Shutdown);
-        let recorder = self
+        let out = self
             .driver
             .take()
             .expect("driver joined once")
@@ -213,7 +297,17 @@ impl Server {
         for w in self.workers.drain(..) {
             w.join().expect("worker panicked");
         }
-        recorder
+        out
+    }
+
+    /// Drain in-flight work, stop every thread and return the driver's
+    /// metrics. Panics if the invariant auditor detected any violation.
+    pub fn shutdown(self) -> MetricsRecorder {
+        let out = self.shutdown_full();
+        if let Some(audit) = &out.audit {
+            audit.assert_clean("runtime");
+        }
+        out.recorder
     }
 }
 
@@ -237,7 +331,7 @@ mod tests {
     #[test]
     fn single_stage_runtime_matches_reference_model() {
         let server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
-        let out = server.generate_all(vec![req(1, vec![5, 9, 33, 120, 7], 10)]);
+        let out = server.generate_all(vec![req(1, vec![5, 9, 33, 120, 7], 10)]).expect("runtime stalled");
         let rec = server.shutdown();
         assert_eq!(out[&1], reference_generation(&[5, 9, 33, 120, 7], 10));
         assert_eq!(rec.finished_count(), 1);
@@ -246,7 +340,7 @@ mod tests {
     #[test]
     fn pipelined_runtime_matches_reference_model() {
         let server = Server::start(RuntimeConfig::tiny(4), Arc::new(TokenThrottle::default()));
-        let out = server.generate_all(vec![req(1, vec![5, 9, 33, 120, 7], 10)]);
+        let out = server.generate_all(vec![req(1, vec![5, 9, 33, 120, 7], 10)]).expect("runtime stalled");
         server.shutdown();
         assert_eq!(out[&1], reference_generation(&[5, 9, 33, 120, 7], 10));
     }
@@ -262,10 +356,10 @@ mod tests {
             prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 8)).collect()
         };
         let a = Server::start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
-        let out_throttle = a.generate_all(reqs("gllm"));
+        let out_throttle = a.generate_all(reqs("gllm")).expect("runtime stalled");
         a.shutdown();
         let b = Server::start(RuntimeConfig::tiny(2), Arc::new(SarathiServe::default()));
-        let out_sarathi = b.generate_all(reqs("sarathi"));
+        let out_sarathi = b.generate_all(reqs("sarathi")).expect("runtime stalled");
         b.shutdown();
         assert_eq!(out_throttle, out_sarathi);
         for (i, p) in prompts.iter().enumerate() {
@@ -280,7 +374,7 @@ mod tests {
             .map(|i| req(i, vec![(i % 250) as u32 + 1; 3 + (i as usize % 5)], 4 + (i as usize % 7)))
             .collect();
         let expected: Vec<usize> = reqs.iter().map(|r| r.max_new).collect();
-        let out = server.generate_all(reqs);
+        let out = server.generate_all(reqs).expect("runtime stalled");
         let rec = server.shutdown();
         for (i, want) in expected.iter().enumerate() {
             assert_eq!(out[&(i as u64)].len(), *want, "request {i}");
@@ -304,11 +398,11 @@ mod tests {
         // Small chunks force multi-chunk prefills.
         let policy = || Arc::new(SarathiServe::new(16));
         let classic = Server::start(RuntimeConfig::tiny(3), policy());
-        let out_classic = classic.generate_all(reqs.clone());
+        let out_classic = classic.generate_all(reqs.clone()).expect("runtime stalled");
         classic.shutdown();
         let cpp_cfg = RuntimeConfig { cpp: true, ..RuntimeConfig::tiny(3) };
         let with_cpp = Server::start(cpp_cfg, policy());
-        let out_cpp = with_cpp.generate_all(reqs);
+        let out_cpp = with_cpp.generate_all(reqs).expect("runtime stalled");
         with_cpp.shutdown();
         assert_eq!(out_classic, out_cpp, "CPP changed generated tokens");
         for (i, p) in prompts.iter().enumerate() {
@@ -320,7 +414,7 @@ mod tests {
     fn oversized_request_is_rejected() {
         let server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
         // Capacity is 256 blocks × 4 = 1024 tokens.
-        let out = server.generate_all(vec![req(1, vec![1; 2000], 10), req(2, vec![1, 2, 3], 3)]);
+        let out = server.generate_all(vec![req(1, vec![1; 2000], 10), req(2, vec![1, 2, 3], 3)]).expect("runtime stalled");
         server.shutdown();
         assert!(out[&1].is_empty(), "oversized request must be rejected");
         assert_eq!(out[&2].len(), 3);
@@ -337,13 +431,85 @@ mod tests {
         let prompts: Vec<Vec<u32>> =
             (0..4).map(|i| (0..10).map(|j| ((i * 31 + j * 7) % 256) as u32).collect()).collect();
         let server = Server::start(cfg, Arc::new(SarathiServe::default()));
-        let out = server.generate_all(
-            prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 8)).collect(),
-        );
+        let out = server
+            .generate_all(
+                prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 8)).collect(),
+            )
+            .expect("runtime stalled");
         let rec = server.shutdown();
         assert_eq!(rec.finished_count(), 4);
         for (i, p) in prompts.iter().enumerate() {
             assert_eq!(out[&(i as u64)], reference_generation(p, 8), "request {i}");
         }
+    }
+
+    #[test]
+    fn runtime_audit_report_is_clean_after_mixed_load() {
+        // Clean-drain leak check on the threaded plane: preemption-heavy
+        // load, then shutdown_full must surface a drained, violation-free
+        // audit with batches actually checked.
+        let cfg = RuntimeConfig { kv_blocks: 16, ..RuntimeConfig::tiny(2) };
+        let server = Server::start(cfg, Arc::new(TokenThrottle::default()));
+        let reqs: Vec<GenRequest> =
+            (0..6).map(|i| req(i, vec![(i % 200) as u32 + 1; 6 + i as usize], 5)).collect();
+        server.generate_all(reqs).expect("runtime stalled");
+        let out = server.shutdown_full();
+        let audit = out.audit.expect("audit defaults on");
+        audit.assert_clean("runtime");
+        assert!(audit.batches_checked > 0);
+        assert_eq!(audit.final_snapshot.in_flight, 0, "pipeline drained");
+        assert_eq!(audit.final_snapshot.live_kv_seqs, 0, "KV drained");
+    }
+
+    /// A policy that never schedules anything: the pipeline wedges with
+    /// work pending, which `generate_all` must report rather than hang.
+    struct NeverSchedule;
+
+    impl gllm_core::SchedulePolicy for NeverSchedule {
+        fn plan(&self, _view: &gllm_core::ScheduleView) -> gllm_core::BatchPlan {
+            gllm_core::BatchPlan::default()
+        }
+
+        fn name(&self) -> &'static str {
+            "never"
+        }
+    }
+
+    #[test]
+    fn stalled_runtime_returns_an_error_with_audit_context() {
+        let cfg = RuntimeConfig {
+            stall_timeout: Duration::from_millis(200),
+            ..RuntimeConfig::tiny(1)
+        };
+        let server = Server::start(cfg, Arc::new(NeverSchedule));
+        let err = server
+            .generate_all(vec![req(1, vec![1, 2, 3], 4)])
+            .expect_err("a never-scheduling policy must stall");
+        assert_eq!(err.pending, 1);
+        assert_eq!(err.waited, Duration::from_millis(200));
+        let msg = err.to_string();
+        assert!(msg.contains("runtime stalled"), "got: {msg}");
+        // No batch was ever scheduled, so the auditor never snapshotted.
+        assert!(err.snapshot.is_none());
+        // Shutdown still works: nothing in flight, audit clean (the
+        // undrained pool skips the leak check).
+        server.shutdown();
+    }
+
+    #[test]
+    fn runtime_records_a_pipeline_trace_when_asked() {
+        let cfg = RuntimeConfig { record_trace: true, ..RuntimeConfig::tiny(2) };
+        let server = Server::start(cfg, Arc::new(TokenThrottle::default()));
+        server
+            .generate_all(vec![req(1, vec![5, 9, 33], 6)])
+            .expect("runtime stalled");
+        let out = server.shutdown_full();
+        assert!(out.trace.is_enabled());
+        assert!(
+            out.trace.stage_busy_total() > 0.0,
+            "stage-0 compute spans must be recorded"
+        );
+        let doc = out.trace.to_chrome_trace_string();
+        assert!(doc.contains("\"traceEvents\""));
     }
 }

@@ -122,8 +122,8 @@ pub fn simulate_disaggregated(
     };
 
     let mut sides = [
-        make_side(cfg.prefill_gpus, Box::new(SarathiServe::default()), 0),
-        make_side(cfg.decode_gpus, Box::new(TokenThrottle::default()), cfg.prefill_gpus),
+        make_side(cfg.prefill_gpus, Box::<SarathiServe>::default(), 0),
+        make_side(cfg.decode_gpus, Box::<TokenThrottle>::default(), cfg.prefill_gpus),
     ];
 
     // Request book-keeping: (prompt_len, max_output) by id, and the KV
@@ -151,6 +151,7 @@ pub fn simulate_disaggregated(
     let mut aborted = 0usize;
 
     // --- helpers as closures are borrow-hostile; use macros-by-fn style ---
+    #[allow(clippy::too_many_arguments)]
     fn start_stage(
         side: &mut PipeSide,
         runtime: &RuntimeModel,
@@ -197,6 +198,7 @@ pub fn simulate_disaggregated(
             let view = side.pool.view(
                 side.kv.free_rate(),
                 side.kv.free_blocks() * side.kv.block_size(),
+                side.kv.block_size(),
                 side.exec.scheduler_depth(),
             );
             let admission = admit(side.policy.plan(&view), &mut side.pool, &mut side.kv);
@@ -418,6 +420,8 @@ pub fn simulate_disaggregated(
         aborted,
         unfinished,
         final_kv_free_rate,
+        trace: gllm_metrics::PipelineTrace::default(),
+        audit: None,
     }
 }
 

@@ -22,7 +22,10 @@ use std::collections::{HashMap, VecDeque};
 
 use gllm_core::{admit, BatchPlan, RequestPool, SchedulePolicy};
 use gllm_kvcache::KvCacheManager;
-use gllm_metrics::{BusyTracker, MetricsRecorder, TokenTrace};
+use gllm_metrics::{
+    AuditReport, BusyTracker, InvariantAuditor, KvObservation, MetricsRecorder, PipelineTrace,
+    PlanCaps, TokenTrace,
+};
 use gllm_model::{BatchWorkload, CostModel, LinkSpec, PipelinePartition, SequenceChunk};
 use gllm_workload::Trace;
 
@@ -49,6 +52,15 @@ pub struct EngineConfig {
     /// paper leaves to future work (§2.4); the probe quantifies how bubbles
     /// amplify around a slow stage.
     pub stage_slowdown: Vec<f64>,
+    /// Run the invariant auditor on every schedule/complete transition
+    /// (cheap: O(plan) per batch). On by default so every test and bench
+    /// run cross-checks KV accounting, pipeline depth, budget conformance
+    /// and FCFS admission.
+    pub audit: bool,
+    /// Record the structured per-batch pipeline event log (schedule /
+    /// stage / comm / complete / preempt) for Chrome-trace export. Off by
+    /// default: stage-level spans are bulky on long runs.
+    pub record_pipeline_trace: bool,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +71,8 @@ impl Default for EngineConfig {
             record_utilization: true,
             enable_cpp: false,
             stage_slowdown: Vec::new(),
+            audit: true,
+            record_pipeline_trace: false,
         }
     }
 }
@@ -172,6 +186,11 @@ pub struct SimOutput {
     /// KV free rate at the end of the run (1.0 on a clean drain — anything
     /// less with `unfinished == 0` indicates a leak).
     pub final_kv_free_rate: f64,
+    /// Structured pipeline event log (empty unless
+    /// `record_pipeline_trace` was set).
+    pub trace: PipelineTrace,
+    /// Invariant-audit result (`None` when auditing was disabled).
+    pub audit: Option<AuditReport>,
 }
 
 /// The discrete-event serving engine. Construct with [`SimEngine::new`] and
@@ -197,6 +216,8 @@ pub struct SimEngine<'a> {
     recorder: MetricsRecorder,
     token_trace: TokenTrace,
     busy: BusyTracker,
+    ptrace: PipelineTrace,
+    auditor: Option<InvariantAuditor>,
     sched_iterations: usize,
     preemptions: u64,
     aborted: usize,
@@ -204,6 +225,7 @@ pub struct SimEngine<'a> {
 
 impl<'a> SimEngine<'a> {
     /// Build an engine over `kv_blocks` KV blocks of `block_size` tokens.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         trace: &'a Trace,
         policy: &'a dyn SchedulePolicy,
@@ -217,6 +239,10 @@ impl<'a> SimEngine<'a> {
         let stages = exec.stage_count();
         let num_gpus = exec.num_gpus();
         let enable_cpp = cfg.enable_cpp;
+        let auditor = cfg
+            .audit
+            .then(|| InvariantAuditor::new(kv_blocks, block_size, exec.scheduler_depth()));
+        let ptrace = PipelineTrace::new(cfg.record_pipeline_trace);
         Self {
             trace,
             policy,
@@ -235,6 +261,8 @@ impl<'a> SimEngine<'a> {
             recorder: MetricsRecorder::new(),
             token_trace: TokenTrace::new(),
             busy: BusyTracker::new(num_gpus),
+            ptrace,
+            auditor,
             sched_iterations: 0,
             preemptions: 0,
             aborted: 0,
@@ -258,6 +286,7 @@ impl<'a> SimEngine<'a> {
                 Event::StageDone { batch, stage } => self.on_stage_done(batch, stage),
             }
         }
+        let unfinished = self.pool.unfinished_count();
         SimOutput {
             recorder: self.recorder,
             token_trace: self.token_trace,
@@ -266,18 +295,32 @@ impl<'a> SimEngine<'a> {
             sched_iterations: self.sched_iterations,
             preemptions: self.preemptions,
             aborted: self.aborted,
-            unfinished: self.pool.unfinished_count(),
+            unfinished,
             final_kv_free_rate: self.kv.free_rate(),
+            trace: self.ptrace,
+            audit: self.auditor.map(|a| a.into_report(unfinished == 0)),
         }
+    }
+
+    /// Current KV occupancy as the auditor's observation.
+    fn kv_obs(&self) -> KvObservation {
+        let s = self.kv.stats();
+        KvObservation { free_blocks: s.free_blocks, used_blocks: s.used_blocks }
     }
 
     fn on_arrival(&mut self, trace_index: usize) {
         let r = &self.trace.requests[trace_index];
         self.recorder.on_arrival(r.id, self.clock, r.prompt_len);
+        if let Some(a) = self.auditor.as_mut() {
+            a.on_arrival(r.id);
+        }
         // A request whose full context can never fit is rejected up front
         // (a real engine would return an error to the client).
         if r.total_tokens() + self.kv.block_size() > self.kv.token_capacity() {
             self.aborted += 1;
+            if let Some(a) = self.auditor.as_mut() {
+                a.on_abort(r.id);
+            }
             return;
         }
         self.pool.add(r.id, r.prompt_len, r.output_len);
@@ -303,6 +346,7 @@ impl<'a> SimEngine<'a> {
                 let b = &self.batches[&batch];
                 self.exec.comm_time(&b.workload)
             };
+            self.ptrace.comm(self.clock, self.clock + comm, batch, stage);
             self.events
                 .push(self.clock + comm, Event::BatchReady { batch, stage: stage + 1 });
         } else {
@@ -328,6 +372,7 @@ impl<'a> SimEngine<'a> {
                 self.busy.record(g, t, t + dur);
             }
         }
+        self.ptrace.stage(t, t + dur, batch, stage);
         self.events.push(t + dur, Event::StageDone { batch, stage });
     }
 
@@ -342,6 +387,13 @@ impl<'a> SimEngine<'a> {
             self.kv.free(id).expect("finished sequence had KV");
         }
         self.in_flight -= 1;
+        self.ptrace
+            .complete(self.clock, batch, outcome.emitted.len(), outcome.finished.len());
+        if let Some(a) = self.auditor.as_mut() {
+            let s = self.kv.stats();
+            let after = KvObservation { free_blocks: s.free_blocks, used_blocks: s.used_blocks };
+            a.on_complete(self.clock, batch, &outcome.finished, after);
+        }
         self.try_schedule();
     }
 
@@ -358,13 +410,24 @@ impl<'a> SimEngine<'a> {
             let view = self.pool.view(
                 self.kv.free_rate(),
                 self.kv.free_blocks() * self.kv.block_size(),
+                self.kv.block_size(),
                 self.exec.scheduler_depth(),
             );
+            let kv_before = self.kv_obs();
+            let caps = self
+                .policy
+                .budget_caps(&view)
+                .map(|(prefill_tokens, decode_seqs)| PlanCaps { prefill_tokens, decode_seqs });
             let proposed = self.policy.plan(&view);
+            let proposed_copy = self.auditor.as_ref().map(|_| proposed.clone());
             let admission = admit(proposed, &mut self.pool, &mut self.kv);
             for &victim in &admission.preempted {
                 self.recorder.on_preemption(victim);
                 self.preemptions += 1;
+                self.ptrace.preempt(self.clock, victim);
+                if let Some(a) = self.auditor.as_mut() {
+                    a.on_evict(victim);
+                }
             }
             let plan = admission.plan;
             if plan.is_empty() {
@@ -379,6 +442,10 @@ impl<'a> SimEngine<'a> {
                         }
                         self.recorder.on_preemption(victim);
                         self.preemptions += 1;
+                        self.ptrace.preempt(self.clock, victim);
+                        if let Some(a) = self.auditor.as_mut() {
+                            a.on_evict(victim);
+                        }
                         continue;
                     }
                 }
@@ -389,6 +456,28 @@ impl<'a> SimEngine<'a> {
                 self.token_trace.record(plan.prefill_tokens(), plan.decode_tokens());
             }
             self.sched_iterations += 1;
+            if let (Some(a), Some(proposed)) = (self.auditor.as_mut(), proposed_copy.as_ref()) {
+                let after = KvObservation {
+                    free_blocks: self.kv.free_blocks(),
+                    used_blocks: self.kv.stats().used_blocks,
+                };
+                a.on_schedule(
+                    self.clock,
+                    self.next_batch_id,
+                    proposed,
+                    &plan,
+                    caps,
+                    kv_before,
+                    after,
+                );
+            }
+            self.ptrace.schedule(
+                self.clock,
+                self.next_batch_id,
+                plan.prefill_tokens(),
+                plan.decode_tokens(),
+                plan.num_seqs(),
+            );
 
             let workload = to_workload(&plan);
             let sampled = plan.decode.len()
@@ -425,6 +514,7 @@ mod tests {
     use super::*;
     use gllm_core::sarathi::SarathiServe;
     use gllm_core::throttle::TokenThrottle;
+    use gllm_core::ScheduleView;
     use gllm_metrics::ServingReport;
     use gllm_model::{ClusterSpec, GpuSpec, ModelConfig};
     use gllm_workload::{ArrivalProcess, Dataset};
@@ -657,5 +747,121 @@ mod tests {
             sarathi.token_trace.total_tokens_cv(),
             gllm.token_trace.total_tokens_cv()
         );
+    }
+
+    #[test]
+    fn drained_runs_audit_clean_for_every_policy() {
+        // Satellite leak check: the auditor's shadow KV accounting must
+        // agree with the cache on every transition AND at drain time.
+        let trace = burst_trace(10, 300, 8);
+        let policies: Vec<Box<dyn SchedulePolicy>> = vec![
+            Box::new(TokenThrottle::default()),
+            Box::new(SarathiServe::default()),
+        ];
+        for policy in &policies {
+            let out = run(&trace, policy.as_ref(), small_exec(4), 4096);
+            let audit = out.audit.expect("audit defaults on");
+            audit.assert_clean(policy.name());
+            assert!(audit.batches_checked > 0, "auditor saw no batches");
+        }
+    }
+
+    #[test]
+    fn audit_survives_kv_pressure_and_preemption() {
+        // Preemption (recompute eviction) is the hardest path for shadow
+        // accounting: evicted sequences give back their blocks and later
+        // re-prefill from scratch without tripping FCFS first-start checks.
+        let trace = burst_trace(16, 400, 30);
+        let out = run(&trace, &SarathiServe::default(), small_exec(2), 96);
+        assert!(out.preemptions > 0, "test must exercise preemption");
+        out.audit.expect("audit defaults on").assert_clean("preemption");
+    }
+
+    /// A deliberately broken policy: plans prefill for KV it does not have
+    /// (token-granular accounting, the pre-fix `TokenThrottle` bug) and
+    /// publishes budget caps smaller than what it actually plans.
+    struct BrokenPolicy;
+
+    impl SchedulePolicy for BrokenPolicy {
+        fn plan(&self, view: &ScheduleView) -> BatchPlan {
+            use gllm_core::plan::PrefillChunk;
+            use gllm_core::policy::take_decodes;
+            let decode = take_decodes(&view.decodable, view.decodable.len());
+            // Token-granular reservation: one token per decode slot, then
+            // hand ALL remaining free tokens to prefill — ignores that each
+            // decode at a block boundary claims a whole fresh block.
+            let kv_left = view.kv_free_tokens.saturating_sub(decode.len());
+            let prefill = view
+                .waiting
+                .first()
+                .map(|w| PrefillChunk {
+                    seq: w.seq,
+                    tokens: w.remaining_prefill.min(kv_left),
+                    context_before: w.context_before,
+                    completes_prompt: w.remaining_prefill <= kv_left,
+                })
+                .into_iter()
+                .filter(|c| c.tokens > 0)
+                .collect();
+            BatchPlan { prefill, decode }
+        }
+
+        fn budget_caps(&self, _view: &ScheduleView) -> Option<(usize, usize)> {
+            // Published caps that the plans above routinely exceed.
+            Some((1, 0))
+        }
+
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn broken_policy_trips_the_auditor_end_to_end() {
+        // Block size 16 with tight KV: token-granular decode reservation
+        // must trip KvOvercommit, and the bogus caps trip BudgetConformance.
+        let trace = burst_trace(8, 200, 40);
+        let out = run(&trace, &BrokenPolicy, small_exec(2), 64);
+        let audit = out.audit.expect("audit defaults on");
+        assert!(
+            !audit.is_clean(),
+            "a policy that overcommits KV and violates its own caps must be caught"
+        );
+        let kinds: std::collections::HashSet<_> =
+            audit.violations.iter().map(|v| v.invariant).collect();
+        assert!(
+            kinds.contains(&gllm_metrics::Invariant::BudgetConformance),
+            "caps (1, 0) are exceeded by every nonempty plan: {kinds:?}"
+        );
+        assert!(
+            kinds.contains(&gllm_metrics::Invariant::KvOvercommit),
+            "token-granular decode reservation must overcommit blocks: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_trace_records_spans_when_enabled() {
+        let trace = burst_trace(4, 100, 6);
+        let policy = TokenThrottle::default();
+        let mut cfg = EngineConfig::default();
+        cfg.record_pipeline_trace = true;
+        let out = SimEngine::new(
+            &trace,
+            &policy,
+            small_exec(2),
+            RuntimeModel::gllm(),
+            2048,
+            16,
+            1024,
+            cfg,
+        )
+        .run();
+        assert!(out.trace.is_enabled());
+        assert!(out.trace.stage_busy_total() > 0.0);
+        let doc = out.trace.to_chrome_trace_string();
+        assert!(doc.contains("\"traceEvents\""));
+        // Default config records nothing (zero-cost when off).
+        let off = run(&trace, &policy, small_exec(2), 2048);
+        assert!(off.trace.events().is_empty());
     }
 }

@@ -1,6 +1,6 @@
 //! One-call experiment driver: trace + system + deployment → results.
 
-use gllm_metrics::{MetricsRecorder, ServingReport, SloSpec, TokenTrace};
+use gllm_metrics::{AuditReport, MetricsRecorder, PipelineTrace, ServingReport, SloSpec, TokenTrace};
 use gllm_model::CostModel;
 use gllm_workload::Trace;
 
@@ -31,6 +31,11 @@ pub struct RunResult {
     pub preemptions: u64,
     /// Requests rejected as unservable.
     pub aborted: usize,
+    /// Structured per-batch pipeline events (empty unless
+    /// [`EngineConfig::record_pipeline_trace`] was set).
+    pub pipeline_trace: PipelineTrace,
+    /// Invariant-audit report (None when [`EngineConfig::audit`] is off).
+    pub audit: Option<AuditReport>,
 }
 
 impl RunResult {
@@ -111,6 +116,9 @@ pub fn run_experiment_with(
         engine_cfg,
     );
     let out = engine.run();
+    if let Some(audit) = &out.audit {
+        audit.assert_clean(&format!("sim:{}", system.name));
+    }
     let report = ServingReport::from_recorder(&out.recorder);
     let horizon = out.end_time_s.max(f64::MIN_POSITIVE);
     RunResult {
@@ -124,6 +132,8 @@ pub fn run_experiment_with(
         sched_iterations: out.sched_iterations,
         preemptions: out.preemptions,
         aborted: out.aborted,
+        pipeline_trace: out.trace,
+        audit: out.audit,
     }
 }
 

@@ -57,7 +57,7 @@ pub fn silu(x: f32) -> f32 {
 /// `pos · θ^(−2i/d)` (θ = 10000).
 pub fn rope(head: &mut [f32], pos: usize) {
     let d = head.len();
-    debug_assert!(d % 2 == 0, "head dim must be even for RoPE");
+    debug_assert!(d.is_multiple_of(2), "head dim must be even for RoPE");
     for i in 0..d / 2 {
         let freq = 1.0 / 10000f32.powf(2.0 * i as f32 / d as f32);
         let angle = pos as f32 * freq;

@@ -1,0 +1,218 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Keeps the bench harness API (`Criterion`, `BenchmarkGroup`, `Bencher`,
+//! `criterion_group!`/`criterion_main!`) but replaces the statistical
+//! machinery with a simple calibrated timing loop: warm up briefly,
+//! choose an iteration count targeting a fixed measurement window, then
+//! report the mean time per iteration on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement window.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Warm-up budget before calibration.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// How a batched setup routine amortizes its setup cost (shim: ignored,
+/// every batch is one iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Fresh state for every call.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// (iterations, elapsed) of the measured window.
+    measured: Option<(u64, Duration)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the iteration count.
+        let mut iters_per_window = 1u64;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_TARGET {
+            for _ in 0..iters_per_window {
+                std::hint::black_box(routine());
+            }
+            if iters_per_window < u64::MAX / 2 {
+                iters_per_window *= 2;
+            }
+        }
+        let elapsed_warm = warm_start.elapsed();
+        let total_warm_iters = iters_per_window.saturating_sub(1).max(1);
+        let per_iter = elapsed_warm.as_secs_f64() / total_warm_iters as f64;
+        let target = (MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, 10_000_000).max(self.sample_size as u64);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+
+    /// Measure `routine` with per-batch `setup` state excluded from setup
+    /// cost amortization decisions (shim: setup is simply untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        // Calibrate roughly: run until the measured time hits the target
+        // or we reach a sane iteration cap.
+        let cap = 1_000_000u64;
+        while total < MEASURE_TARGET && iters < cap {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((iters.max(1), total));
+    }
+}
+
+fn report(group: Option<&str>, name: &str, measured: Option<(u64, Duration)>) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    match measured {
+        Some((iters, elapsed)) if iters > 0 => {
+            let per = elapsed.as_secs_f64() / iters as f64;
+            let (val, unit) = if per >= 1.0 {
+                (per, "s")
+            } else if per >= 1e-3 {
+                (per * 1e3, "ms")
+            } else if per >= 1e-6 {
+                (per * 1e6, "µs")
+            } else {
+                (per * 1e9, "ns")
+            };
+            println!("{label:<48} {val:>10.3} {unit}/iter  ({iters} iters)");
+        }
+        _ => println!("{label:<48} (no measurement)"),
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { measured: None, sample_size: self.sample_size };
+        f(&mut b);
+        report(Some(&self.name), name, b.measured);
+        self
+    }
+
+    /// Lower bound on measured iterations (upstream: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Finish the group (no-op beyond matching upstream's API).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _criterion: self, sample_size: 1 }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { measured: None, sample_size: 1 };
+        f(&mut b);
+        report(None, name, b.measured);
+        self
+    }
+
+    /// Match upstream's builder used by `criterion_group!` configs.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Re-export mirroring upstream's `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_something() {
+        let mut b = Bencher { measured: None, sample_size: 1 };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        let (iters, elapsed) = b.measured.expect("measured");
+        assert!(iters >= 1);
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0u64;
+        let mut b = Bencher { measured: None, sample_size: 1 };
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 64]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        let (iters, _) = b.measured.expect("measured");
+        assert_eq!(setups, iters);
+    }
+}

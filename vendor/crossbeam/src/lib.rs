@@ -1,0 +1,358 @@
+//! Offline shim for the `crossbeam` crate: MPMC channels
+//! (`channel::unbounded`) built on `Mutex` + `Condvar`, plus a
+//! polling-based [`select!`] macro covering the `recv(..) -> ..` /
+//! `default(timeout)` arm shapes this workspace uses.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    // Re-export so `crossbeam::channel::select!` resolves like upstream.
+    pub use crate::select;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message like upstream.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel empty right now.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message within the timeout.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Send, failing only if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Self { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            let none_left = st.senders == 0;
+            drop(st);
+            if none_left {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half; cloneable (MPMC — each message goes to one
+    /// receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Block up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel poisoned");
+                st = guard;
+                if res.timed_out() && st.queue.is_empty() {
+                    if st.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Blocking iterator over messages until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").receivers += 1;
+            Self { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().expect("channel poisoned").receivers -= 1;
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+/// Polling-based `select!`: tries each `recv` arm in order; a message or
+/// a disconnection makes an arm ready. With no ready arm it parks briefly
+/// and retries, firing the `default(timeout)` arm when the timeout
+/// elapses. Semantics match upstream closely enough for multiplexing
+/// loops; fairness is by arm order rather than random.
+#[macro_export]
+macro_rules! select {
+    (
+        $(recv($rx:expr) -> $res:pat => $body:expr,)+
+        default($timeout:expr) => $dbody:expr $(,)?
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $timeout;
+        'select: loop {
+            $(
+                // One match ties the Ok type to the receiver so the
+                // disconnected arm's Result infers without annotations.
+                let __polled = match ($rx).try_recv() {
+                    Ok(__v) => ::std::option::Option::Some(
+                        ::std::result::Result::Ok(__v),
+                    ),
+                    Err($crate::channel::TryRecvError::Disconnected) => {
+                        ::std::option::Option::Some(::std::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ))
+                    }
+                    Err($crate::channel::TryRecvError::Empty) => {
+                        ::std::option::Option::None
+                    }
+                };
+                if let ::std::option::Option::Some(__r) = __polled {
+                    let $res = __r;
+                    $body;
+                    break 'select;
+                }
+            )+
+            if ::std::time::Instant::now() >= __deadline {
+                $dbody;
+                break 'select;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(100));
+        }
+    }};
+    (
+        $(recv($rx:expr) -> $res:pat => $body:expr),+ $(,)?
+    ) => {{
+        'select: loop {
+            $(
+                let __polled = match ($rx).try_recv() {
+                    Ok(__v) => ::std::option::Option::Some(
+                        ::std::result::Result::Ok(__v),
+                    ),
+                    Err($crate::channel::TryRecvError::Disconnected) => {
+                        ::std::option::Option::Some(::std::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ))
+                    }
+                    Err($crate::channel::TryRecvError::Empty) => {
+                        ::std::option::Option::None
+                    }
+                };
+                if let ::std::option::Option::Some(__r) = __polled {
+                    let $res = __r;
+                    $body;
+                    break 'select;
+                }
+            )+
+            ::std::thread::sleep(::std::time::Duration::from_micros(100));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn drop_of_all_senders_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_prefers_ready_arm_and_falls_to_default() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        let mut hit = 0;
+        tx_a.send(5).unwrap();
+        crate::select! {
+            recv(rx_a) -> msg => { assert_eq!(msg, Ok(5)); hit = 1; },
+            recv(rx_b) -> _msg => { hit = 2; },
+            default(Duration::from_millis(1)) => { hit = 3; },
+        }
+        assert_eq!(hit, 1);
+        crate::select! {
+            recv(rx_a) -> _msg => { hit = 1; },
+            recv(rx_b) -> _msg => { hit = 2; },
+            default(Duration::from_millis(1)) => { hit = 3; },
+        }
+        assert_eq!(hit, 3);
+    }
+
+    #[test]
+    fn select_sees_disconnection_as_ready() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        let mut disconnected = false;
+        crate::select! {
+            recv(rx) -> msg => { disconnected = msg.is_err(); },
+            default(Duration::from_millis(50)) => { },
+        }
+        assert!(disconnected);
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline shim for the `rand_distr` crate: the [`Distribution`] trait
+//! and the [`LogNormal`] distribution (via Box–Muller), which is all the
+//! workload synthesiser uses.
+
+use rand::Rng;
+
+/// A distribution values of `T` can be sampled from.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The standard normal via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u1 ∈ (0, 1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Build; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma < 0.0 || sigma.is_nan() || !sigma.is_finite() || !mu.is_finite() {
+            return Err(Error("Normal: bad parameters"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * StandardNormal.sample(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Build; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_matches_moments() {
+        // X ~ LogNormal(mu, sigma) has E[ln X] = mu, Var[ln X] = sigma².
+        let (mu, sigma) = (1.5, 0.4);
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let logs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / n as f64;
+        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - mu).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.01, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, 1.0).is_ok());
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! `par_iter()` / `par_iter_mut()` return the corresponding **sequential**
+//! std slice iterators, so every downstream adaptor (`zip`, `map`,
+//! `enumerate`, `collect`, `for_each`, …) is just the std `Iterator`
+//! machinery. Results are identical to parallel execution for the
+//! data-parallel element-wise loops this workspace runs; there is simply
+//! no thread pool in this offline environment.
+
+pub mod prelude {
+    /// `&collection → par_iter()` (sequential in this shim).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Iterate shared references "in parallel".
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// `&mut collection → par_iter_mut()` (sequential in this shim).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Iterate exclusive references "in parallel".
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn zip_across_par_iters() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        let s: i32 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(s, 10 + 40 + 90);
+    }
+}

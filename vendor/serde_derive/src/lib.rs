@@ -1,0 +1,592 @@
+//! Offline shim for serde's derive macros.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (conversions to/from `serde::value::Value`) for:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   upstream's default representation).
+//!
+//! Supported field attributes: `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(rename = "name")]`,
+//! `#[serde(skip_serializing_if = "path")]`.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream
+//! (no `syn`/`quote` in this offline environment); generic parameters are
+//! not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model ---------------------------------------------------------
+
+struct Field {
+    ident: String,
+    key: String,
+    default: Option<FieldDefault>,
+    skip_ser_if: Option<String>,
+}
+
+enum FieldDefault {
+    Trait,
+    Path(String),
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    ident: String,
+    data: VariantData,
+}
+
+enum Kind {
+    Unit,
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+// ---- parsing ------------------------------------------------------------
+
+struct SerdeAttrs {
+    default: Option<FieldDefault>,
+    rename: Option<String>,
+    skip_ser_if: Option<String>,
+}
+
+impl SerdeAttrs {
+    fn empty() -> Self {
+        Self { default: None, rename: None, skip_ser_if: None }
+    }
+}
+
+fn lit_str(tok: &TokenTree) -> Result<String, String> {
+    match tok {
+        TokenTree::Literal(l) => {
+            let s = l.to_string();
+            if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+                Ok(s[1..s.len() - 1].to_string())
+            } else {
+                Err(format!("expected string literal, got `{s}`"))
+            }
+        }
+        other => Err(format!("expected string literal, got `{other}`")),
+    }
+}
+
+/// Parse the inside of one `#[serde(...)]` group into `attrs`.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut SerdeAttrs) -> Result<(), String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("unsupported serde attribute token `{other}`")),
+        };
+        let has_eq = matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        match (name.as_str(), has_eq) {
+            ("default", false) => {
+                attrs.default = Some(FieldDefault::Trait);
+                i += 1;
+            }
+            ("default", true) => {
+                attrs.default = Some(FieldDefault::Path(lit_str(
+                    toks.get(i + 2).ok_or("dangling `default =`")?,
+                )?));
+                i += 3;
+            }
+            ("rename", true) => {
+                attrs.rename = Some(lit_str(toks.get(i + 2).ok_or("dangling `rename =`")?)?);
+                i += 3;
+            }
+            ("skip_serializing_if", true) => {
+                attrs.skip_ser_if = Some(lit_str(
+                    toks.get(i + 2).ok_or("dangling `skip_serializing_if =`")?,
+                )?);
+                i += 3;
+            }
+            (other, _) => return Err(format!("unsupported serde attribute `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+/// Consume any `#[...]` attributes at `toks[*i]`, folding `#[serde(...)]`
+/// contents into the returned attrs.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> Result<SerdeAttrs, String> {
+    let mut attrs = SerdeAttrs::empty();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let mut j = *i + 1;
+        // Inner attribute marker `#!` (not expected on fields, but skip).
+        if matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            j += 1;
+        }
+        let group = match toks.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => return Err(format!("malformed attribute near `{other:?}`")),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                match inner.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        parse_serde_attr(g.stream(), &mut attrs)?;
+                    }
+                    other => return Err(format!("malformed #[serde] attribute: `{other:?}`")),
+                }
+            }
+        }
+        *i = j + 1;
+    }
+    Ok(attrs)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip one type expression: tokens until a `,` at angle-bracket depth 0.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists (struct bodies and struct
+/// variants).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+            continue;
+        }
+        let attrs = take_attrs(&toks, &mut i)?;
+        skip_vis(&toks, &mut i);
+        let ident = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got `{other:?}`")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{ident}`, got `{other:?}`")),
+        }
+        skip_type(&toks, &mut i);
+        let key = attrs.rename.clone().unwrap_or_else(|| ident.clone());
+        fields.push(Field {
+            ident,
+            key,
+            default: attrs.default,
+            skip_ser_if: attrs.skip_ser_if,
+        });
+    }
+    Ok(fields)
+}
+
+/// Count the comma-separated entries of a tuple body `(A, B, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+            continue;
+        }
+        let _attrs = take_attrs(&toks, &mut i)?;
+        let ident = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got `{other:?}`")),
+        };
+        i += 1;
+        let data = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantData::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip an explicit discriminant `= expr` (until comma).
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < toks.len()
+                && !matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        variants.push(Variant { ident, data });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = take_attrs(&toks, &mut i)?;
+    skip_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got `{other:?}`")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got `{other:?}`")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => return Err(format!("unsupported struct body: `{other:?}`")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: `{other:?}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+// ---- code generation ----------------------------------------------------
+
+/// Serialize code for a list of named fields into a pushed-field vec;
+/// `access` maps a field ident to the expression that borrows it.
+fn gen_named_ser(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = access(&f.ident);
+        let push = format!(
+            "__fields.push((\"{key}\".to_string(), ::serde::Serialize::to_value({expr})));",
+            key = f.key
+        );
+        if let Some(pred) = &f.skip_ser_if {
+            out.push_str(&format!("if !({pred})({expr}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Deserialize code producing a struct-literal field list from `__obj`.
+fn gen_named_de(fields: &[Field], type_name: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            Some(FieldDefault::Trait) => "::std::default::Default::default()".to_string(),
+            Some(FieldDefault::Path(p)) => format!("{p}()"),
+            None => format!(
+                "return ::std::result::Result::Err(::serde::value::DeError::new(\
+                 \"{type_name}: missing field `{key}`\"))",
+                key = f.key
+            ),
+        };
+        out.push_str(&format!(
+            "{ident}: match __obj.iter().find(|(__k, _)| __k == \"{key}\") {{\n\
+               ::std::option::Option::Some((_, __val)) => \
+                 ::serde::Deserialize::from_value(__val)\
+                 .map_err(|__e| __e.context(\"{type_name}.{key}\"))?,\n\
+               ::std::option::Option::None => {missing},\n\
+             }},\n",
+            ident = f.ident,
+            key = f.key,
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => "::serde::value::Value::Null".to_string(),
+        Kind::Struct(fields) => format!(
+            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = \
+             ::std::vec::Vec::new();\n{}\n::serde::value::Value::Object(__fields)",
+            gen_named_ser(fields, |id| format!("&self.{id}"))
+        ),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(vec![{}])",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.ident;
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantData::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::value::Value::Object(vec![(\
+                         \"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::value::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::value::Value::Array(vec![{vals}]))]),\n",
+                            binds = binds.join(", "),
+                            vals = vals.join(", "),
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.ident.clone()).collect();
+                        let pushes = gen_named_ser(fields, |id| id.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                               let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                               ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                               {pushes}\n\
+                               ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), \
+                               ::serde::value::Value::Object(__fields))])\n\
+                             }},\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Struct(fields) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| ::serde::value::DeError::new(\
+             format!(\"{name}: expected object, got {{}}\", __v.kind())))?;\n\
+             ::std::result::Result::Ok({name} {{\n{}\n}})",
+            gen_named_de(fields, name)
+        ),
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)\
+             .map_err(|__e| __e.context(\"{name}\"))?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&__arr[{i}])\
+                         .map_err(|__e| __e.context(\"{name}.{i}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::value::DeError::new(\
+                 \"{name}: expected array\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::value::DeError::new(\"{name}: expected {n} elements\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.ident;
+                match &v.data {
+                    VariantData::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also allow `{"Variant": null}`.
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" if __val.is_null() => \
+                             ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantData::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__val)\
+                         .map_err(|__e| __e.context(\"{name}::{vn}\"))?)),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(&__arr[{i}])\
+                                     .map_err(|__e| __e.context(\"{name}::{vn}.{i}\"))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let __arr = __val.as_array().ok_or_else(|| \
+                               ::serde::value::DeError::new(\"{name}::{vn}: expected array\"))?;\n\
+                               if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                               ::serde::value::DeError::new(\
+                               \"{name}::{vn}: expected {n} elements\")); }}\n\
+                               ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let inner = gen_named_de(fields, &format!("{name}::{vn}"));
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let __obj = __val.as_object().ok_or_else(|| \
+                               ::serde::value::DeError::new(\"{name}::{vn}: expected object\"))?;\n\
+                               ::std::result::Result::Ok({name}::{vn} {{\n{inner}\n}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                   ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::value::DeError::new(\
+                     format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                   }},\n\
+                   ::serde::value::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                     let (__tag, __val) = &__fields[0];\n\
+                     match __tag.as_str() {{\n\
+                       {data_arms}\
+                       __other => ::std::result::Result::Err(::serde::value::DeError::new(\
+                       format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }}\n\
+                   }},\n\
+                   __other => ::std::result::Result::Err(::serde::value::DeError::new(\
+                   format!(\"{name}: expected string or single-key object, got {{}}\", \
+                   __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::value::Value) -> \
+           ::std::result::Result<Self, ::serde::value::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde shim derive generated invalid Rust"),
+        Err(msg) => {
+            let full = format!("serde shim derive: {msg}");
+            format!("compile_error!({:?});", full)
+                .parse()
+                .expect("compile_error snippet parses")
+        }
+    }
+}
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
