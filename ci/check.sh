@@ -1,7 +1,13 @@
 #!/usr/bin/env sh
-# The full local gate: build, test, lint. Run from the repo root.
-# Everything is offline (all dependencies are vendored in vendor/).
+# The full local gate: static analysis, build, test, lint. Run from the
+# repo root. Everything is offline (all dependencies are vendored in
+# vendor/).
 set -eux
+
+# Stage 1: in-tree static analysis (unit newtypes, panic-freedom, sim
+# determinism, lock discipline, vendor hygiene). Fails fast before the
+# release build. `--list-checks` documents the families.
+cargo run -p gllm-lint -- --deny
 
 cargo build --release
 cargo test -q

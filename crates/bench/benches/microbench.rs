@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gllm_core::sarathi::SarathiServe;
 use gllm_core::throttle::TokenThrottle;
 use gllm_core::{BatchPlan, PrefillChunk, RequestPool, SchedulePolicy};
-use gllm_kvcache::KvCacheManager;
+use gllm_kvcache::{Blocks, KvCacheManager, Tokens};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
 use gllm_sim::{run_experiment, Deployment, SystemConfig};
@@ -24,19 +24,19 @@ use std::hint::black_box;
 /// A pool + cache mid-flight: 64 decoding sequences, 8 waiting prompts.
 fn loaded_state() -> (RequestPool, KvCacheManager) {
     let mut pool = RequestPool::new(1024);
-    let mut kv = KvCacheManager::new(16_384, 16);
+    let mut kv = KvCacheManager::new(Blocks(16_384), Tokens(16));
     for id in 0..64u64 {
         pool.add(id, 256, 128);
         let plan = BatchPlan {
             prefill: vec![PrefillChunk {
                 seq: id,
-                tokens: 256,
-                context_before: 0,
+                tokens: Tokens(256),
+                context_before: Tokens(0),
                 completes_prompt: true,
             }],
             decode: vec![],
         };
-        kv.append(id, 256).expect("fits");
+        kv.append(id, Tokens(256)).expect("fits");
         pool.commit(&plan);
         pool.complete(&plan);
     }
@@ -53,13 +53,13 @@ fn bench_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler_overhead");
     g.bench_function("token_throttle_view_plus_plan", |b| {
         b.iter(|| {
-            let view = pool.view(kv.free_rate(), kv.free_blocks() * kv.block_size(), kv.block_size(), 4);
+            let view = pool.view(kv.free_rate(), kv.free_blocks().to_tokens(kv.block_size()), kv.block_size(), 4);
             black_box(throttle.plan(&view))
         })
     });
     g.bench_function("sarathi_view_plus_plan", |b| {
         b.iter(|| {
-            let view = pool.view(kv.free_rate(), kv.free_blocks() * kv.block_size(), kv.block_size(), 4);
+            let view = pool.view(kv.free_rate(), kv.free_blocks().to_tokens(kv.block_size()), kv.block_size(), 4);
             black_box(sarathi.plan(&view))
         })
     });
@@ -70,14 +70,14 @@ fn bench_kvcache(c: &mut Criterion) {
     let mut g = c.benchmark_group("kvcache");
     g.bench_function("append_extend_free_cycle", |b| {
         b.iter_batched(
-            || KvCacheManager::new(4096, 16),
+            || KvCacheManager::new(Blocks(4096), Tokens(16)),
             |mut kv| {
                 for id in 0..32u64 {
-                    kv.append(id, 200).expect("fits");
+                    kv.append(id, Tokens(200)).expect("fits");
                 }
                 for id in 0..32u64 {
                     for _ in 0..16 {
-                        kv.append(id, 1).expect("fits");
+                        kv.append(id, Tokens(1)).expect("fits");
                     }
                 }
                 for id in 0..32u64 {

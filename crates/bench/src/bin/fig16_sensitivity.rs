@@ -12,6 +12,7 @@
 use gllm_bench::output::{f3, Table};
 use gllm_bench::write_json;
 use gllm_core::throttle::ThrottleConfig;
+use gllm_core::Tokens;
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
 use gllm_sim::{run_experiment, Deployment, SystemConfig};
@@ -101,11 +102,19 @@ fn main() {
         record("#T", t.to_string(), "sharegpt@4", m, base_sg, &mut table);
     }
     for max_p in [512usize, 1024, 2048, 4096, 8192] {
-        let m = run(ThrottleConfig { max_p, ..Default::default() }, &trace_az, &deployment);
+        let m = run(
+            ThrottleConfig { max_p: Tokens(max_p), ..Default::default() },
+            &trace_az,
+            &deployment,
+        );
         record("#MaxP", max_p.to_string(), "azure@3", m, base_az, &mut table);
     }
     for min_p in [8usize, 16, 32, 64] {
-        let m = run(ThrottleConfig { min_p, ..Default::default() }, &trace_sg, &deployment);
+        let m = run(
+            ThrottleConfig { min_p: Tokens(min_p), ..Default::default() },
+            &trace_sg,
+            &deployment,
+        );
         record("#MinP", min_p.to_string(), "sharegpt@4", m, base_sg, &mut table);
     }
     for kv_thresh in [0.0f64, 0.05, 0.1, 0.2] {

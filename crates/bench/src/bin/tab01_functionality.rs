@@ -11,7 +11,7 @@
 //! 1-stage and multi-stage pipelines) must produce **bit-identical**
 //! greedy answers. The LoC half counts this repository's crates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -66,7 +66,7 @@ fn probe_prompts(n: usize) -> Vec<Vec<u32>> {
 
 /// "Grade" a system: fraction of probes whose full greedy generation
 /// matches the reference exactly.
-fn agreement(answers: &HashMap<u64, Vec<u32>>, reference: &[Vec<u32>]) -> f64 {
+fn agreement(answers: &BTreeMap<u64, Vec<u32>>, reference: &[Vec<u32>]) -> f64 {
     let hits = reference
         .iter()
         .enumerate()
@@ -75,7 +75,12 @@ fn agreement(answers: &HashMap<u64, Vec<u32>>, reference: &[Vec<u32>]) -> f64 {
     hits as f64 / reference.len() as f64
 }
 
-fn run_server(stages: usize, sarathi: bool, prompts: &[Vec<u32>], answer_len: usize) -> HashMap<u64, Vec<u32>> {
+fn run_server(
+    stages: usize,
+    sarathi: bool,
+    prompts: &[Vec<u32>],
+    answer_len: usize,
+) -> BTreeMap<u64, Vec<u32>> {
     let policy: Arc<dyn gllm_core::SchedulePolicy> = if sarathi {
         Arc::new(SarathiServe::default())
     } else {

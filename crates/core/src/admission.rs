@@ -8,6 +8,7 @@
 //! runtime) call this same function, so admission behaviour is identical.
 
 use gllm_kvcache::KvCacheManager;
+use gllm_units::Tokens;
 
 use crate::plan::{BatchPlan, PrefillChunk};
 use crate::pool::RequestPool;
@@ -37,8 +38,8 @@ pub fn admit(proposed: BatchPlan, pool: &mut RequestPool, kv: &mut KvCacheManage
     let mut pending: std::collections::VecDeque<_> = proposed.decode.into();
     while let Some(slot) = pending.pop_front() {
         loop {
-            if kv.can_append(slot.seq, 1) {
-                kv.append(slot.seq, 1).expect("checked");
+            if kv.can_append(slot.seq, Tokens(1)) {
+                kv.append(slot.seq, Tokens(1)).expect("checked"); // lint:allow(panic-freedom): can_append checked on the previous line
                 protected.push(slot.seq);
                 decode.push(slot);
                 break;
@@ -48,6 +49,7 @@ pub fn admit(proposed: BatchPlan, pool: &mut RequestPool, kv: &mut KvCacheManage
             protected.pop();
             match victim {
                 Some((victim, _)) => {
+                    // lint:allow(panic-freedom): preempt_latest_excluding only returns decoding victims that hold KV
                     kv.evict(victim).expect("victim held KV");
                     preempted.push(victim);
                     // The victim is Waiting now; any of its still-pending
@@ -62,10 +64,10 @@ pub fn admit(proposed: BatchPlan, pool: &mut RequestPool, kv: &mut KvCacheManage
     let mut prefill = Vec::with_capacity(proposed.prefill.len());
     for chunk in proposed.prefill {
         let take = chunk.tokens.min(kv.max_appendable(chunk.seq));
-        if take == 0 {
+        if take.is_zero() {
             continue;
         }
-        kv.append(chunk.seq, take).expect("sized to fit");
+        kv.append(chunk.seq, take).expect("sized to fit"); // lint:allow(panic-freedom): take is clamped to max_appendable above
         prefill.push(PrefillChunk {
             seq: chunk.seq,
             tokens: take,
@@ -89,8 +91,8 @@ mod tests {
             let plan = BatchPlan {
                 prefill: vec![PrefillChunk {
                     seq: id,
-                    tokens: prompt,
-                    context_before: 0,
+                    tokens: Tokens(prompt),
+                    context_before: Tokens(0),
                     completes_prompt: true,
                 }],
                 decode: vec![],
@@ -104,13 +106,13 @@ mod tests {
 
     #[test]
     fn admits_what_fits_without_preemption() {
-        let mut kv = KvCacheManager::new(64, 16);
+        let mut kv = KvCacheManager::new(gllm_kvcache::Blocks(64), Tokens(16));
         let mut pool = decoding_pool(&[1, 2], 16, &mut kv);
         let plan = BatchPlan {
             prefill: vec![],
             decode: vec![
-                DecodeSlot { seq: 1, context_before: 16 },
-                DecodeSlot { seq: 2, context_before: 16 },
+                DecodeSlot { seq: 1, context_before: Tokens(16) },
+                DecodeSlot { seq: 2, context_before: Tokens(16) },
             ],
         };
         let adm = admit(plan, &mut pool, &mut kv);
@@ -122,11 +124,11 @@ mod tests {
     fn full_cache_preempts_latest_nonplanned_sequence() {
         // 3 sequences of 16 tokens fill 3 blocks; only seq 1's decode is
         // planned, so seq 3 (latest) should be evicted to make room.
-        let mut kv = KvCacheManager::new(3, 16);
+        let mut kv = KvCacheManager::new(gllm_kvcache::Blocks(3), Tokens(16));
         let mut pool = decoding_pool(&[1, 2, 3], 16, &mut kv);
         let plan = BatchPlan {
             prefill: vec![],
-            decode: vec![DecodeSlot { seq: 1, context_before: 16 }],
+            decode: vec![DecodeSlot { seq: 1, context_before: Tokens(16) }],
         };
         let adm = admit(plan, &mut pool, &mut kv);
         assert_eq!(adm.plan.decode.len(), 1);
@@ -139,13 +141,13 @@ mod tests {
         // Cache completely full with the two planned sequences themselves:
         // the earlier (higher-priority) one proceeds by evicting the later
         // one, exactly vLLM's recompute-preemption — no deadlock.
-        let mut kv = KvCacheManager::new(2, 16);
+        let mut kv = KvCacheManager::new(gllm_kvcache::Blocks(2), Tokens(16));
         let mut pool = decoding_pool(&[1, 2], 16, &mut kv);
         let plan = BatchPlan {
             prefill: vec![],
             decode: vec![
-                DecodeSlot { seq: 1, context_before: 16 },
-                DecodeSlot { seq: 2, context_before: 16 },
+                DecodeSlot { seq: 1, context_before: Tokens(16) },
+                DecodeSlot { seq: 2, context_before: Tokens(16) },
             ],
         };
         let adm = admit(plan, &mut pool, &mut kv);
@@ -161,14 +163,14 @@ mod tests {
         // evict seq 3, seq 2 then finds no victim (1 placed, itself
         // excluded) and its slot drops — but nothing already placed is
         // ever clawed back.
-        let mut kv = KvCacheManager::new(3, 16);
+        let mut kv = KvCacheManager::new(gllm_kvcache::Blocks(3), Tokens(16));
         let mut pool = decoding_pool(&[1, 2, 3], 16, &mut kv);
         let plan = BatchPlan {
             prefill: vec![],
             decode: vec![
-                DecodeSlot { seq: 1, context_before: 16 },
-                DecodeSlot { seq: 2, context_before: 16 },
-                DecodeSlot { seq: 3, context_before: 16 },
+                DecodeSlot { seq: 1, context_before: Tokens(16) },
+                DecodeSlot { seq: 2, context_before: Tokens(16) },
+                DecodeSlot { seq: 3, context_before: Tokens(16) },
             ],
         };
         let adm = admit(plan, &mut pool, &mut kv);
@@ -180,38 +182,38 @@ mod tests {
 
     #[test]
     fn prefill_chunks_trim_to_free_space() {
-        let mut kv = KvCacheManager::new(4, 16);
+        let mut kv = KvCacheManager::new(gllm_kvcache::Blocks(4), Tokens(16));
         let mut pool = RequestPool::new(1024);
         pool.add(1, 100, 5);
         let plan = BatchPlan {
             prefill: vec![PrefillChunk {
                 seq: 1,
-                tokens: 100,
-                context_before: 0,
+                tokens: Tokens(100),
+                context_before: Tokens(0),
                 completes_prompt: true,
             }],
             decode: vec![],
         };
         let adm = admit(plan, &mut pool, &mut kv);
         assert_eq!(adm.plan.prefill.len(), 1);
-        assert_eq!(adm.plan.prefill[0].tokens, 64);
+        assert_eq!(adm.plan.prefill[0].tokens, Tokens(64));
         assert!(!adm.plan.prefill[0].completes_prompt, "trim must clear the flag");
     }
 
     #[test]
     fn zero_space_drops_prefill_entirely() {
-        let mut kv = KvCacheManager::new(1, 16);
+        let mut kv = KvCacheManager::new(gllm_kvcache::Blocks(1), Tokens(16));
         let mut pool = RequestPool::new(1024);
         pool.add(1, 16, 5);
         pool.add(2, 16, 5);
         let p1 = BatchPlan {
-            prefill: vec![PrefillChunk { seq: 1, tokens: 16, context_before: 0, completes_prompt: true }],
+            prefill: vec![PrefillChunk { seq: 1, tokens: Tokens(16), context_before: Tokens(0), completes_prompt: true }],
             decode: vec![],
         };
         let adm1 = admit(p1, &mut pool, &mut kv);
         pool.commit(&adm1.plan);
         let p2 = BatchPlan {
-            prefill: vec![PrefillChunk { seq: 2, tokens: 16, context_before: 0, completes_prompt: true }],
+            prefill: vec![PrefillChunk { seq: 2, tokens: Tokens(16), context_before: Tokens(0), completes_prompt: true }],
             decode: vec![],
         };
         let adm2 = admit(p2, &mut pool, &mut kv);

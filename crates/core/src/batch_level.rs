@@ -33,12 +33,12 @@ impl SchedulePolicy for BatchLevelPolicy {
             return BatchPlan { prefill: Vec::new(), decode };
         }
         // Admit a fresh batch of whole prompts, charging whole KV blocks.
-        let bs = view.block_size.max(1);
-        let mut blocks_left = view.kv_free_tokens / bs;
+        let bs = view.block_size;
+        let mut blocks_left = view.kv_free_tokens.full_blocks(bs);
         let mut prefill = Vec::new();
         for w in view.waiting.iter().take(self.batch_size) {
-            let slack = w.context_before.div_ceil(bs) * bs - w.context_before;
-            if w.remaining_prefill > slack + blocks_left * bs {
+            let slack = w.context_before.to_blocks(bs).to_tokens(bs) - w.context_before;
+            if w.remaining_prefill > slack + blocks_left.to_tokens(bs) {
                 break;
             }
             prefill.push(PrefillChunk {
@@ -61,6 +61,7 @@ impl SchedulePolicy for BatchLevelPolicy {
 mod tests {
     use super::*;
     use crate::policy::{DecodableSeq, WaitingSeq};
+    use gllm_units::Tokens;
 
     fn view(
         waiting: &[(u64, usize)],
@@ -71,15 +72,19 @@ mod tests {
         ScheduleView {
             waiting: waiting
                 .iter()
-                .map(|&(seq, rem)| WaitingSeq { seq, remaining_prefill: rem, context_before: 0 })
+                .map(|&(seq, rem)| WaitingSeq {
+                    seq,
+                    remaining_prefill: Tokens(rem),
+                    context_before: Tokens(0),
+                })
                 .collect(),
             decodable: (0..decodable)
-                .map(|i| DecodableSeq { seq: 100 + i as u64, context_before: 64 })
+                .map(|i| DecodableSeq { seq: 100 + i as u64, context_before: Tokens(64) })
                 .collect(),
             total_decode_seqs: total_decode,
             kv_free_rate: 1.0,
-            kv_free_tokens: 1_000_000,
-            block_size: 1,
+            kv_free_tokens: Tokens(1_000_000),
+            block_size: Tokens(1),
             in_flight_seqs: in_flight,
             pipeline_depth: 1,
             max_seqs_per_batch: 1024,

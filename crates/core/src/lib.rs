@@ -54,3 +54,7 @@ pub use policy::{
 pub use pool::{BatchOutcome, EmittedToken, RequestPool};
 pub use sequence::{Phase, Sequence};
 pub use throttle::{ThrottleConfig, TokenThrottle};
+
+// Re-exported so policy implementors and engines can name the unit
+// newtypes without a separate `gllm-units` dependency edge.
+pub use gllm_units::{Blocks, Bytes, Tokens};

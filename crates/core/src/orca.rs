@@ -31,9 +31,9 @@ impl SchedulePolicy for OrcaPolicy {
             &view.decodable,
             view.decodable.len().min(view.max_seqs_per_batch),
         );
-        let bs = view.block_size.max(1);
+        let bs = view.block_size;
         let mut blocks_left =
-            prefill_kv_after_decode(view.kv_free_tokens, &decode, view.block_size) / bs;
+            prefill_kv_after_decode(view.kv_free_tokens, &decode, bs).full_blocks(bs);
         let mut seq_budget = view
             .max_seqs_per_batch
             .saturating_sub(decode.len())
@@ -45,8 +45,8 @@ impl SchedulePolicy for OrcaPolicy {
             }
             // Whole prompts only: skip prompts whose blocks do not fit in
             // free KV (after partial-block slack).
-            let slack = w.context_before.div_ceil(bs) * bs - w.context_before;
-            if w.remaining_prefill > slack + blocks_left * bs {
+            let slack = w.context_before.to_blocks(bs).to_tokens(bs) - w.context_before;
+            if w.remaining_prefill > slack + blocks_left.to_tokens(bs) {
                 continue;
             }
             prefill.push(PrefillChunk {
@@ -70,20 +70,25 @@ impl SchedulePolicy for OrcaPolicy {
 mod tests {
     use super::*;
     use crate::policy::{DecodableSeq, WaitingSeq};
+    use gllm_units::Tokens;
 
     fn view(waiting: &[(u64, usize)], decodable: usize, kv_free_tokens: usize) -> ScheduleView {
         ScheduleView {
             waiting: waiting
                 .iter()
-                .map(|&(seq, rem)| WaitingSeq { seq, remaining_prefill: rem, context_before: 0 })
+                .map(|&(seq, rem)| WaitingSeq {
+                    seq,
+                    remaining_prefill: Tokens(rem),
+                    context_before: Tokens(0),
+                })
                 .collect(),
             decodable: (0..decodable)
-                .map(|i| DecodableSeq { seq: 100 + i as u64, context_before: 64 })
+                .map(|i| DecodableSeq { seq: 100 + i as u64, context_before: Tokens(64) })
                 .collect(),
             total_decode_seqs: decodable,
             kv_free_rate: 1.0,
-            kv_free_tokens,
-            block_size: 1,
+            kv_free_tokens: Tokens(kv_free_tokens),
+            block_size: Tokens(1),
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,
@@ -96,7 +101,7 @@ mod tests {
         let plan = p.plan(&view(&[(1, 7000), (2, 100)], 0, 1_000_000));
         assert_eq!(plan.prefill.len(), 2);
         assert!(plan.prefill.iter().all(|c| c.completes_prompt));
-        assert_eq!(plan.prefill_tokens(), 7100);
+        assert_eq!(plan.prefill_tokens(), Tokens(7100));
     }
 
     #[test]
@@ -119,6 +124,6 @@ mod tests {
         let p = OrcaPolicy::default();
         let plan = p.plan(&view(&[(1, 100)], 12, 1_000_000));
         assert_eq!(plan.decode.len(), 12);
-        assert_eq!(plan.prefill_tokens(), 100);
+        assert_eq!(plan.prefill_tokens(), Tokens(100));
     }
 }

@@ -1,5 +1,6 @@
 //! The output of a scheduling decision: one micro-batch's composition.
 
+use gllm_units::Tokens;
 use serde::{Deserialize, Serialize};
 
 /// A chunk of one sequence's prefill assigned to a micro-batch.
@@ -8,9 +9,9 @@ pub struct PrefillChunk {
     /// Sequence receiving the chunk.
     pub seq: u64,
     /// Prompt tokens in this chunk (≥ 1).
-    pub tokens: usize,
+    pub tokens: Tokens,
     /// KV context already committed before this chunk.
-    pub context_before: usize,
+    pub context_before: Tokens,
     /// Whether this chunk reaches the end of the prompt (and will therefore
     /// emit the first output token when its batch completes).
     pub completes_prompt: bool,
@@ -22,7 +23,7 @@ pub struct DecodeSlot {
     /// Sequence taking the step.
     pub seq: u64,
     /// KV context committed before this step.
-    pub context_before: usize,
+    pub context_before: Tokens,
 }
 
 /// The micro-batch a policy proposes for the next forward pass.
@@ -46,23 +47,23 @@ impl BatchPlan {
     }
 
     /// Prefill tokens scheduled.
-    pub fn prefill_tokens(&self) -> usize {
+    pub fn prefill_tokens(&self) -> Tokens {
         self.prefill.iter().map(|c| c.tokens).sum()
     }
 
     /// Decode tokens scheduled (= decode sequences).
-    pub fn decode_tokens(&self) -> usize {
-        self.decode.len()
+    pub fn decode_tokens(&self) -> Tokens {
+        Tokens(self.decode.len())
     }
 
     /// Total new tokens in the batch.
-    pub fn total_tokens(&self) -> usize {
+    pub fn total_tokens(&self) -> Tokens {
         self.prefill_tokens() + self.decode_tokens()
     }
 
     /// New KV slots this plan will occupy when committed (every new token
     /// writes one KV entry).
-    pub fn kv_slots_needed(&self) -> usize {
+    pub fn kv_slots_needed(&self) -> Tokens {
         self.total_tokens()
     }
 
@@ -80,18 +81,28 @@ mod tests {
     fn counts_add_up() {
         let plan = BatchPlan {
             prefill: vec![
-                PrefillChunk { seq: 1, tokens: 512, context_before: 0, completes_prompt: false },
-                PrefillChunk { seq: 2, tokens: 100, context_before: 50, completes_prompt: true },
+                PrefillChunk {
+                    seq: 1,
+                    tokens: Tokens(512),
+                    context_before: Tokens(0),
+                    completes_prompt: false,
+                },
+                PrefillChunk {
+                    seq: 2,
+                    tokens: Tokens(100),
+                    context_before: Tokens(50),
+                    completes_prompt: true,
+                },
             ],
             decode: vec![
-                DecodeSlot { seq: 3, context_before: 200 },
-                DecodeSlot { seq: 4, context_before: 30 },
+                DecodeSlot { seq: 3, context_before: Tokens(200) },
+                DecodeSlot { seq: 4, context_before: Tokens(30) },
             ],
         };
-        assert_eq!(plan.prefill_tokens(), 612);
-        assert_eq!(plan.decode_tokens(), 2);
-        assert_eq!(plan.total_tokens(), 614);
-        assert_eq!(plan.kv_slots_needed(), 614);
+        assert_eq!(plan.prefill_tokens(), Tokens(612));
+        assert_eq!(plan.decode_tokens(), Tokens(2));
+        assert_eq!(plan.total_tokens(), Tokens(614));
+        assert_eq!(plan.kv_slots_needed(), Tokens(614));
         assert_eq!(plan.num_seqs(), 4);
         assert!(!plan.is_empty());
     }
@@ -100,6 +111,6 @@ mod tests {
     fn empty_plan() {
         let p = BatchPlan::empty();
         assert!(p.is_empty());
-        assert_eq!(p.total_tokens(), 0);
+        assert_eq!(p.total_tokens(), Tokens(0));
     }
 }

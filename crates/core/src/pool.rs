@@ -20,7 +20,9 @@
 //! discrete-event simulator drives it with virtual time, the threaded
 //! runtime with wall time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+use gllm_units::Tokens;
 
 use crate::plan::BatchPlan;
 use crate::policy::{DecodableSeq, ScheduleView, WaitingSeq};
@@ -47,7 +49,8 @@ pub struct BatchOutcome {
 /// The global sequence pool.
 #[derive(Debug, Clone, Default)]
 pub struct RequestPool {
-    seqs: HashMap<u64, Sequence>,
+    /// BTreeMap, not HashMap: iteration feeds the deterministic sim plane.
+    seqs: BTreeMap<u64, Sequence>,
     /// Arrival order for FCFS scheduling (finished ids pruned lazily).
     order: Vec<u64>,
     max_seqs_per_batch: usize,
@@ -61,7 +64,7 @@ impl RequestPool {
     /// A pool with the engine's per-batch sequence cap (vLLM default 1024).
     pub fn new(max_seqs_per_batch: usize) -> Self {
         Self {
-            seqs: HashMap::new(),
+            seqs: BTreeMap::new(),
             order: Vec::new(),
             max_seqs_per_batch,
             cpp: false,
@@ -131,8 +134,8 @@ impl RequestPool {
     pub fn view(
         &self,
         kv_free_rate: f64,
-        kv_free_tokens: usize,
-        block_size: usize,
+        kv_free_tokens: Tokens,
+        block_size: Tokens,
         pipeline_depth: usize,
     ) -> ScheduleView {
         let mut waiting = Vec::new();
@@ -140,7 +143,7 @@ impl RequestPool {
         let mut total_decode = 0usize;
         let mut in_flight = 0usize;
         for &id in &self.order {
-            let s = &self.seqs[&id];
+            let Some(s) = self.seqs.get(&id) else { continue };
             if s.is_finished() {
                 continue;
             }
@@ -150,13 +153,16 @@ impl RequestPool {
             match s.phase {
                 Phase::Waiting if s.prefill_schedulable(self.cpp) => waiting.push(WaitingSeq {
                     seq: id,
-                    remaining_prefill: s.remaining_prefill(),
-                    context_before: s.context_len(),
+                    remaining_prefill: Tokens(s.remaining_prefill()),
+                    context_before: Tokens(s.context_len()),
                 }),
                 Phase::Decoding => {
                     total_decode += 1;
                     if s.decode_schedulable() {
-                        decodable.push(DecodableSeq { seq: id, context_before: s.context_len() });
+                        decodable.push(DecodableSeq {
+                            seq: id,
+                            context_before: Tokens(s.context_len()),
+                        });
                     }
                 }
                 _ => {}
@@ -181,24 +187,26 @@ impl RequestPool {
     /// plan from a fresh view.
     pub fn commit(&mut self, plan: &BatchPlan) {
         for c in &plan.prefill {
+            // lint:allow(panic-freedom): documented contract — commit() panics on stale plans
             let s = self.seqs.get_mut(&c.seq).expect("unknown sequence in plan");
             assert_eq!(
-                c.context_before,
+                c.context_before.get(),
                 s.context_len(),
                 "stale prefill chunk for sequence {}",
                 c.seq
             );
             assert!(
-                c.completes_prompt == (c.tokens == s.remaining_prefill()),
+                c.completes_prompt == (c.tokens.get() == s.remaining_prefill()),
                 "completion flag mismatch for sequence {}",
                 c.seq
             );
-            s.commit_prefill(c.tokens);
+            s.commit_prefill(c.tokens.get());
         }
         for d in &plan.decode {
+            // lint:allow(panic-freedom): documented contract — commit() panics on stale plans
             let s = self.seqs.get_mut(&d.seq).expect("unknown sequence in plan");
             assert_eq!(
-                d.context_before,
+                d.context_before.get(),
                 s.context_len(),
                 "stale decode slot for sequence {}",
                 d.seq
@@ -211,7 +219,7 @@ impl RequestPool {
     /// collecting finished sequences.
     pub fn complete(&mut self, plan: &BatchPlan) -> BatchOutcome {
         let mut outcome = BatchOutcome::default();
-        let mut apply = |id: u64, emitted: bool, seqs: &HashMap<u64, Sequence>| {
+        let mut apply = |id: u64, emitted: bool, seqs: &BTreeMap<u64, Sequence>| {
             if emitted {
                 let finished = seqs[&id].is_finished();
                 outcome.emitted.push(EmittedToken { seq: id, finished });
@@ -221,11 +229,13 @@ impl RequestPool {
             }
         };
         for c in &plan.prefill {
+            // lint:allow(panic-freedom): complete() shares commit()'s stale-plan contract
             let s = self.seqs.get_mut(&c.seq).expect("unknown sequence in plan");
             let emitted = s.complete_prefill(c.completes_prompt);
             apply(c.seq, emitted, &self.seqs);
         }
         for d in &plan.decode {
+            // lint:allow(panic-freedom): complete() shares commit()'s stale-plan contract
             let s = self.seqs.get_mut(&d.seq).expect("unknown sequence in plan");
             let emitted = s.complete_decode();
             apply(d.seq, emitted, &self.seqs);
@@ -238,14 +248,14 @@ impl RequestPool {
     /// that is decoding and not in flight (vLLM preempts the lowest
     /// priority first). Returns its id and the KV tokens it held, or `None`
     /// if nothing is evictable.
-    pub fn preempt_latest(&mut self) -> Option<(u64, usize)> {
+    pub fn preempt_latest(&mut self) -> Option<(u64, Tokens)> {
         self.preempt_latest_excluding(&[])
     }
 
     /// Like [`RequestPool::preempt_latest`] but never evicts an id in
     /// `exclude` (the engine passes the sequences already placed in the
     /// micro-batch being formed).
-    pub fn preempt_latest_excluding(&mut self, exclude: &[u64]) -> Option<(u64, usize)> {
+    pub fn preempt_latest_excluding(&mut self, exclude: &[u64]) -> Option<(u64, Tokens)> {
         let victim = self
             .order
             .iter()
@@ -258,8 +268,9 @@ impl RequestPool {
                         .get(id)
                         .is_some_and(|s| s.phase == Phase::Decoding && !s.is_in_flight())
             })?;
+        // lint:allow(panic-freedom): victim id was found in self.order just above
         let s = self.seqs.get_mut(&victim).expect("victim exists");
-        let held = s.context_len();
+        let held = Tokens(s.context_len());
         s.reset_for_recompute();
         Some((victim, held))
     }
@@ -269,14 +280,15 @@ impl RequestPool {
     /// the **latest-arrival** waiting sequence that already committed some
     /// context, forcing it to recompute later. Returns its id and the KV
     /// tokens it held.
-    pub fn preempt_stalled_waiting(&mut self) -> Option<(u64, usize)> {
+    pub fn preempt_stalled_waiting(&mut self) -> Option<(u64, Tokens)> {
         let victim = self.order.iter().rev().copied().find(|id| {
             self.seqs.get(id).is_some_and(|s| {
                 s.phase == Phase::Waiting && !s.is_in_flight() && s.context_len() > 0
             })
         })?;
+        // lint:allow(panic-freedom): victim id was found in self.order just above
         let s = self.seqs.get_mut(&victim).expect("victim exists");
-        let held = s.context_len();
+        let held = Tokens(s.context_len());
         s.reset_for_recompute();
         Some((victim, held))
     }
@@ -285,6 +297,7 @@ impl RequestPool {
     /// the cluster's entire KV capacity). The sequence is dropped without
     /// emitting tokens; it must not be in flight.
     pub fn abort(&mut self, id: u64) {
+        // lint:allow(panic-freedom): documented contract — abort() is only called with live ids
         let s = self.seqs.get(&id).expect("aborting unknown sequence");
         assert!(!s.is_in_flight(), "cannot abort an in-flight sequence");
         self.seqs.remove(&id);
@@ -314,7 +327,20 @@ mod tests {
     use crate::throttle::TokenThrottle;
 
     fn chunk(seq: u64, tokens: usize, before: usize, done: bool) -> PrefillChunk {
-        PrefillChunk { seq, tokens, context_before: before, completes_prompt: done }
+        PrefillChunk {
+            seq,
+            tokens: Tokens(tokens),
+            context_before: Tokens(before),
+            completes_prompt: done,
+        }
+    }
+
+    fn slot(seq: u64, before: usize) -> DecodeSlot {
+        DecodeSlot { seq, context_before: Tokens(before) }
+    }
+
+    fn view(pool: &RequestPool, kv_free_tokens: usize) -> ScheduleView {
+        pool.view(1.0, Tokens(kv_free_tokens), Tokens(1), 4)
     }
 
     #[test]
@@ -326,12 +352,12 @@ mod tests {
         let plan = BatchPlan { prefill: vec![chunk(2, 50, 0, true)], decode: vec![] };
         pool.commit(&plan);
         pool.complete(&plan);
-        let v = pool.view(1.0, 1000, 1, 4);
+        let v = view(&pool, 1000);
         assert_eq!(v.waiting.len(), 1);
         assert_eq!(v.waiting[0].seq, 1);
         assert_eq!(v.decodable.len(), 1);
         assert_eq!(v.decodable[0].seq, 2);
-        assert_eq!(v.decodable[0].context_before, 50);
+        assert_eq!(v.decodable[0].context_before, Tokens(50));
         assert_eq!(v.total_decode_seqs, 1);
     }
 
@@ -343,17 +369,14 @@ mod tests {
         pool.commit(&p1);
         pool.complete(&p1);
         // Now decoding; put its decode step in flight.
-        let p2 = BatchPlan {
-            prefill: vec![],
-            decode: vec![DecodeSlot { seq: 1, context_before: 10 }],
-        };
+        let p2 = BatchPlan { prefill: vec![], decode: vec![slot(1, 10)] };
         pool.commit(&p2);
-        let v = pool.view(1.0, 1000, 1, 4);
+        let v = view(&pool, 1000);
         assert!(v.decodable.is_empty(), "in-flight seq is not schedulable");
         assert_eq!(v.total_decode_seqs, 1, "but it counts in #RD");
         assert_eq!(v.in_flight_seqs, 1);
         pool.complete(&p2);
-        assert_eq!(pool.view(1.0, 1000, 1, 4).decodable.len(), 1);
+        assert_eq!(view(&pool, 1000).decodable.len(), 1);
     }
 
     #[test]
@@ -364,10 +387,7 @@ mod tests {
         pool.commit(&p1);
         let o1 = pool.complete(&p1);
         assert_eq!(o1.emitted, vec![EmittedToken { seq: 1, finished: false }]);
-        let p2 = BatchPlan {
-            prefill: vec![],
-            decode: vec![DecodeSlot { seq: 1, context_before: 10 }],
-        };
+        let p2 = BatchPlan { prefill: vec![], decode: vec![slot(1, 10)] };
         pool.commit(&p2);
         let o2 = pool.complete(&p2);
         assert_eq!(o2.emitted, vec![EmittedToken { seq: 1, finished: true }]);
@@ -383,9 +403,9 @@ mod tests {
         pool.commit(&p);
         let o = pool.complete(&p);
         assert!(o.emitted.is_empty());
-        let v = pool.view(1.0, 1000, 1, 4);
-        assert_eq!(v.waiting[0].remaining_prefill, 60);
-        assert_eq!(v.waiting[0].context_before, 40);
+        let v = view(&pool, 1000);
+        assert_eq!(v.waiting[0].remaining_prefill, Tokens(60));
+        assert_eq!(v.waiting[0].context_before, Tokens(40));
     }
 
     #[test]
@@ -408,13 +428,13 @@ mod tests {
         }
         let (victim, held) = pool.preempt_latest().unwrap();
         assert_eq!(victim, 2);
-        assert_eq!(held, 10);
-        let v = pool.view(1.0, 1000, 1, 4);
+        assert_eq!(held, Tokens(10));
+        let v = view(&pool, 1000);
         assert_eq!(v.decodable.len(), 1);
         assert_eq!(v.waiting.len(), 1);
         assert_eq!(v.waiting[0].seq, 2);
         // Recompute includes the generated token.
-        assert_eq!(v.waiting[0].remaining_prefill, 11);
+        assert_eq!(v.waiting[0].remaining_prefill, Tokens(11));
         assert_eq!(pool.preemption_total(), 1);
     }
 
@@ -425,13 +445,13 @@ mod tests {
         let p1 = BatchPlan { prefill: vec![chunk(1, 60, 0, false)], decode: vec![] };
         pool.commit(&p1);
         // With CPP the remainder is schedulable while chunk 1 is in flight.
-        let v = pool.view(1.0, 1000, 1, 4);
+        let v = view(&pool, 1000);
         assert_eq!(v.waiting.len(), 1);
-        assert_eq!(v.waiting[0].remaining_prefill, 40);
-        assert_eq!(v.waiting[0].context_before, 60);
+        assert_eq!(v.waiting[0].remaining_prefill, Tokens(40));
+        assert_eq!(v.waiting[0].context_before, Tokens(60));
         let p2 = BatchPlan { prefill: vec![chunk(1, 40, 60, true)], decode: vec![] };
         pool.commit(&p2);
-        assert!(pool.view(1.0, 1000, 1, 4).waiting.is_empty());
+        assert!(view(&pool, 1000).waiting.is_empty());
         // Chunks complete in pipeline order; only the final one emits.
         let o1 = pool.complete(&p1);
         assert!(o1.emitted.is_empty());
@@ -446,7 +466,7 @@ mod tests {
         pool.add(1, 100, 3);
         let p1 = BatchPlan { prefill: vec![chunk(1, 60, 0, false)], decode: vec![] };
         pool.commit(&p1);
-        assert!(pool.view(1.0, 1000, 1, 4).waiting.is_empty());
+        assert!(view(&pool, 1000).waiting.is_empty());
     }
 
     #[test]
@@ -456,10 +476,7 @@ mod tests {
         let p = BatchPlan { prefill: vec![chunk(1, 10, 0, true)], decode: vec![] };
         pool.commit(&p);
         pool.complete(&p);
-        let d = BatchPlan {
-            prefill: vec![],
-            decode: vec![DecodeSlot { seq: 1, context_before: 10 }],
-        };
+        let d = BatchPlan { prefill: vec![], decode: vec![slot(1, 10)] };
         pool.commit(&d);
         assert!(pool.preempt_latest().is_none());
     }
@@ -477,7 +494,7 @@ mod tests {
         while pool.has_work() {
             iterations += 1;
             assert!(iterations < 10_000, "policy failed to drain the pool");
-            let view = pool.view(1.0, usize::MAX, 1, 4);
+            let view = pool.view(1.0, Tokens(usize::MAX), Tokens(1), 4);
             let plan = policy.plan(&view);
             if plan.is_empty() {
                 // Nothing schedulable (everything in flight) cannot happen

@@ -13,6 +13,8 @@
 //! other micro-batches starve (uneven decode distribution). gLLM's Token
 //! Throttling addresses both.
 
+use gllm_units::Tokens;
+
 use crate::plan::BatchPlan;
 use crate::policy::{
     carve_prefill_chunks_block_aware, prefill_kv_after_decode, take_decodes, SchedulePolicy,
@@ -23,19 +25,19 @@ use crate::policy::{
 #[derive(Debug, Clone)]
 pub struct SarathiServe {
     /// Fixed total token budget per micro-batch (paper: 2048).
-    pub token_budget: usize,
+    pub token_budget: Tokens,
 }
 
 impl Default for SarathiServe {
     fn default() -> Self {
-        Self { token_budget: 2048 }
+        Self { token_budget: Tokens(2048) }
     }
 }
 
 impl SarathiServe {
     /// A policy with the given fixed token budget.
-    pub fn new(token_budget: usize) -> Self {
-        assert!(token_budget >= 1);
+    pub fn new(token_budget: Tokens) -> Self {
+        assert!(token_budget >= Tokens(1));
         Self { token_budget }
     }
 }
@@ -48,14 +50,14 @@ impl SchedulePolicy for SarathiServe {
         let decode_budget = view
             .decodable
             .len()
-            .min(self.token_budget)
+            .min(self.token_budget.get())
             .min(view.max_seqs_per_batch);
         let decode = take_decodes(&view.decodable, decode_budget);
 
         // Step 2 (paper Fig. 5 ❷): maximise chunked prefill within the
         // remaining fixed budget, against the KV blocks left once decode
         // steps have claimed theirs.
-        let remaining = self.token_budget - decode.len();
+        let remaining = self.token_budget - Tokens(decode.len());
         let kv_left = prefill_kv_after_decode(view.kv_free_tokens, &decode, view.block_size);
         let seq_budget = view.max_seqs_per_batch.saturating_sub(decode.len());
         let prefill = carve_prefill_chunks_block_aware(
@@ -69,13 +71,13 @@ impl SchedulePolicy for SarathiServe {
         BatchPlan { prefill, decode }
     }
 
-    fn budget_caps(&self, view: &ScheduleView) -> Option<(usize, usize)> {
+    fn budget_caps(&self, view: &ScheduleView) -> Option<(Tokens, usize)> {
         let decode = view
             .decodable
             .len()
-            .min(self.token_budget)
+            .min(self.token_budget.get())
             .min(view.max_seqs_per_batch);
-        Some((self.token_budget - decode, decode))
+        Some((self.token_budget - Tokens(decode), decode))
     }
 
     fn name(&self) -> &'static str {
@@ -92,15 +94,19 @@ mod tests {
         ScheduleView {
             waiting: waiting
                 .iter()
-                .map(|&(seq, rem)| WaitingSeq { seq, remaining_prefill: rem, context_before: 0 })
+                .map(|&(seq, rem)| WaitingSeq {
+                    seq,
+                    remaining_prefill: Tokens(rem),
+                    context_before: Tokens(0),
+                })
                 .collect(),
             decodable: (0..decodable)
-                .map(|i| DecodableSeq { seq: 100 + i as u64, context_before: 64 })
+                .map(|i| DecodableSeq { seq: 100 + i as u64, context_before: Tokens(64) })
                 .collect(),
             total_decode_seqs: decodable,
             kv_free_rate: 1.0,
-            kv_free_tokens,
-            block_size: 1,
+            kv_free_tokens: Tokens(kv_free_tokens),
+            block_size: Tokens(1),
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,
@@ -112,8 +118,8 @@ mod tests {
         let p = SarathiServe::default();
         let plan = p.plan(&view(&[(1, 5000)], 48, 1_000_000));
         assert_eq!(plan.decode.len(), 48, "all decodes grabbed eagerly");
-        assert_eq!(plan.prefill_tokens(), 2000, "prefill fills 2048 − 48");
-        assert_eq!(plan.total_tokens(), 2048);
+        assert_eq!(plan.prefill_tokens(), Tokens(2000), "prefill fills 2048 − 48");
+        assert_eq!(plan.total_tokens(), Tokens(2048));
     }
 
     #[test]
@@ -121,7 +127,7 @@ mod tests {
         // The paper's first fluctuation cause: decode-only batches.
         let p = SarathiServe::default();
         let plan = p.plan(&view(&[], 16, 1_000_000));
-        assert_eq!(plan.total_tokens(), 16);
+        assert_eq!(plan.total_tokens(), Tokens(16));
     }
 
     #[test]
@@ -130,26 +136,26 @@ mod tests {
         let p = SarathiServe::default();
         let plan = p.plan(&view(&[(1, 5000)], 10, 10));
         assert_eq!(plan.decode.len(), 10);
-        assert_eq!(plan.prefill_tokens(), 0);
+        assert_eq!(plan.prefill_tokens(), Tokens(0));
     }
 
     #[test]
     fn prefill_chunks_span_multiple_requests() {
-        let p = SarathiServe::new(1024);
+        let p = SarathiServe::new(Tokens(1024));
         let plan = p.plan(&view(&[(1, 300), (2, 300), (3, 5000)], 0, 1_000_000));
         assert_eq!(plan.prefill.len(), 3);
-        assert_eq!(plan.prefill_tokens(), 1024);
+        assert_eq!(plan.prefill_tokens(), Tokens(1024));
         assert!(plan.prefill[0].completes_prompt);
         assert!(plan.prefill[1].completes_prompt);
         assert!(!plan.prefill[2].completes_prompt);
-        assert_eq!(plan.prefill[2].tokens, 424);
+        assert_eq!(plan.prefill[2].tokens, Tokens(424));
     }
 
     #[test]
     fn decode_population_can_consume_entire_budget() {
-        let p = SarathiServe::new(64);
+        let p = SarathiServe::new(Tokens(64));
         let plan = p.plan(&view(&[(1, 100)], 64, 1_000_000));
         assert_eq!(plan.decode.len(), 64);
-        assert_eq!(plan.prefill_tokens(), 0);
+        assert_eq!(plan.prefill_tokens(), Tokens(0));
     }
 }

@@ -16,6 +16,8 @@
 
 use std::sync::Mutex;
 
+use gllm_units::Tokens;
+
 use crate::plan::BatchPlan;
 use crate::policy::{carve_prefill_chunks_block_aware, take_decodes, SchedulePolicy, ScheduleView};
 
@@ -32,7 +34,7 @@ enum TdPhase {
 #[derive(Debug)]
 pub struct TdPipe {
     /// Prefill-phase token budget per micro-batch.
-    pub prefill_batch_tokens: usize,
+    pub prefill_batch_tokens: Tokens,
     /// Switch to the decode phase once this many sequences are decoding
     /// (batch them while they are plentiful).
     pub decode_high_watermark: usize,
@@ -45,7 +47,7 @@ pub struct TdPipe {
 impl Default for TdPipe {
     fn default() -> Self {
         Self {
-            prefill_batch_tokens: 2048,
+            prefill_batch_tokens: Tokens(2048),
             decode_high_watermark: 256,
             decode_low_watermark: 64,
             phase: Mutex::new(TdPhase::Prefill),
@@ -55,7 +57,7 @@ impl Default for TdPipe {
 
 impl TdPipe {
     /// A policy with explicit watermarks.
-    pub fn new(prefill_batch_tokens: usize, high: usize, low: usize) -> Self {
+    pub fn new(prefill_batch_tokens: Tokens, high: usize, low: usize) -> Self {
         assert!(low < high);
         Self {
             prefill_batch_tokens,
@@ -68,7 +70,7 @@ impl TdPipe {
 
 impl SchedulePolicy for TdPipe {
     fn plan(&self, view: &ScheduleView) -> BatchPlan {
-        let mut phase = self.phase.lock().expect("uncontended");
+        let mut phase = self.phase.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // Hysteresis between the two dedicated phases.
         *phase = match *phase {
             TdPhase::Prefill
@@ -145,15 +147,19 @@ mod tests {
     fn view(waiting: usize, decodable: usize, total_decode: usize) -> ScheduleView {
         ScheduleView {
             waiting: (0..waiting)
-                .map(|i| WaitingSeq { seq: i as u64, remaining_prefill: 500, context_before: 0 })
+                .map(|i| WaitingSeq {
+                    seq: i as u64,
+                    remaining_prefill: Tokens(500),
+                    context_before: Tokens(0),
+                })
                 .collect(),
             decodable: (0..decodable)
-                .map(|i| DecodableSeq { seq: 1000 + i as u64, context_before: 128 })
+                .map(|i| DecodableSeq { seq: 1000 + i as u64, context_before: Tokens(128) })
                 .collect(),
             total_decode_seqs: total_decode,
             kv_free_rate: 1.0,
-            kv_free_tokens: usize::MAX >> 1,
-            block_size: 1,
+            kv_free_tokens: Tokens(usize::MAX >> 1),
+            block_size: Tokens(1),
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,
@@ -165,12 +171,12 @@ mod tests {
         let p = TdPipe::default();
         let plan = p.plan(&view(8, 10, 10));
         assert!(plan.decode.is_empty(), "prefill phase admits no decodes");
-        assert_eq!(plan.prefill_tokens(), 2048);
+        assert_eq!(plan.prefill_tokens(), Tokens(2048));
     }
 
     #[test]
     fn high_watermark_switches_to_pure_decode() {
-        let p = TdPipe::new(2048, 16, 2);
+        let p = TdPipe::new(Tokens(2048), 16, 2);
         // Decode population reaches the high watermark → decode phase,
         // spread over the pipeline depth (20 / depth 4 = 5).
         let plan = p.plan(&view(8, 20, 20));
@@ -183,11 +189,11 @@ mod tests {
 
     #[test]
     fn low_watermark_switches_back_to_prefill() {
-        let p = TdPipe::new(2048, 16, 2);
+        let p = TdPipe::new(Tokens(2048), 16, 2);
         p.plan(&view(8, 20, 20)); // → decode
         let plan = p.plan(&view(8, 2, 2)); // ≤ low, prompts waiting → prefill
         assert!(plan.decode.is_empty());
-        assert!(plan.prefill_tokens() > 0);
+        assert!(plan.prefill_tokens() > Tokens(0));
     }
 
     #[test]
@@ -200,9 +206,9 @@ mod tests {
 
     #[test]
     fn decode_phase_with_nothing_decodable_falls_through_to_prefill() {
-        let p = TdPipe::new(2048, 4, 1);
+        let p = TdPipe::new(Tokens(2048), 4, 1);
         p.plan(&view(8, 6, 6)); // → decode
         let plan = p.plan(&view(8, 0, 0));
-        assert!(plan.prefill_tokens() > 0, "must not deadlock idle");
+        assert!(plan.prefill_tokens() > Tokens(0), "must not deadlock idle");
     }
 }

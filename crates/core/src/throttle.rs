@@ -19,6 +19,7 @@
 //! The `enable_wt` / `enable_ut` switches produce the paper's ablation
 //! variants `gLLM w/o WT` and `gLLM w/o UT` (Fig. 15).
 
+use gllm_units::Tokens;
 use serde::{Deserialize, Serialize};
 
 use crate::plan::BatchPlan;
@@ -34,9 +35,9 @@ pub struct ThrottleConfig {
     /// `#T`: iterations over which pending prefill tokens are spread.
     pub iter_t: usize,
     /// `#MaxP`: maximum batched prefill tokens per iteration.
-    pub max_p: usize,
+    pub max_p: Tokens,
     /// `#MinP`: minimum batched prefill tokens per iteration.
-    pub min_p: usize,
+    pub min_p: Tokens,
     /// `KV_thresh`: KV idle-rate floor below which prefill is suspended.
     pub kv_thresh: f64,
     /// Enable WT (throttling by tokens awaiting prefill, Eq. 1).
@@ -57,8 +58,8 @@ impl Default for ThrottleConfig {
     fn default() -> Self {
         Self {
             iter_t: 8,
-            max_p: 2048,
-            min_p: 32,
+            max_p: Tokens(2048),
+            min_p: Tokens(32),
             kv_thresh: 0.05,
             enable_wt: true,
             enable_ut: true,
@@ -103,26 +104,26 @@ impl TokenThrottle {
     }
 
     /// The prefill token budget `#P` for the next micro-batch (Eqs. 1–3).
-    pub fn prefill_budget(&self, view: &ScheduleView) -> usize {
+    pub fn prefill_budget(&self, view: &ScheduleView) -> Tokens {
         let cfg = &self.config;
         let wp = view.waiting_tokens();
-        if wp == 0 {
-            return 0;
+        if wp.is_zero() {
+            return Tokens::ZERO;
         }
         // Threshold safeguard (§3.1.3): suspend prefill near capacity.
         if view.kv_free_rate < cfg.kv_thresh {
-            return 0;
+            return Tokens::ZERO;
         }
         let wt_term = if cfg.enable_wt {
-            wp.div_ceil(cfg.iter_t)
+            Tokens(wp.get().div_ceil(cfg.iter_t))
         } else {
-            usize::MAX
+            Tokens(usize::MAX)
         };
         let ut_term = if cfg.enable_ut {
             let scale = (view.kv_free_rate - cfg.kv_thresh) / (1.0 - cfg.kv_thresh);
-            (cfg.max_p as f64 * scale).floor() as usize
+            Tokens((cfg.max_p.get() as f64 * scale).floor() as usize)
         } else {
-            usize::MAX
+            Tokens(usize::MAX)
         };
         wt_term
             .min(ut_term)
@@ -133,6 +134,7 @@ impl TokenThrottle {
 
     /// The decode token budget `#D` for the next micro-batch (Eq. 4):
     /// spread all running decodes evenly over the pipeline depth.
+    // lint:allow(unit-confusion): #D counts decode sequences (one token each), not Tokens
     pub fn decode_budget(&self, view: &ScheduleView) -> usize {
         if view.total_decode_seqs == 0 {
             return 0;
@@ -156,7 +158,7 @@ impl SchedulePolicy for TokenThrottle {
         let prefill = match self.config.context_aware {
             Some(quad_ref) => crate::policy::carve_prefill_chunks_weighted(
                 &view.waiting,
-                budget as f64,
+                budget.get() as f64,
                 seq_budget,
                 kv_left,
                 view.block_size,
@@ -174,7 +176,7 @@ impl SchedulePolicy for TokenThrottle {
         BatchPlan { prefill, decode }
     }
 
-    fn budget_caps(&self, view: &ScheduleView) -> Option<(usize, usize)> {
+    fn budget_caps(&self, view: &ScheduleView) -> Option<(Tokens, usize)> {
         Some((
             self.prefill_budget(view),
             self.decode_budget(view).min(view.max_seqs_per_batch),
@@ -201,17 +203,21 @@ mod tests {
     fn view(wp: usize, decodable: usize, total_decode: usize, kv_free: f64) -> ScheduleView {
         ScheduleView {
             waiting: if wp > 0 {
-                vec![WaitingSeq { seq: 1, remaining_prefill: wp, context_before: 0 }]
+                vec![WaitingSeq {
+                    seq: 1,
+                    remaining_prefill: Tokens(wp),
+                    context_before: Tokens(0),
+                }]
             } else {
                 vec![]
             },
             decodable: (0..decodable)
-                .map(|i| DecodableSeq { seq: 100 + i as u64, context_before: 64 })
+                .map(|i| DecodableSeq { seq: 100 + i as u64, context_before: Tokens(64) })
                 .collect(),
             total_decode_seqs: total_decode,
             kv_free_rate: kv_free,
-            kv_free_tokens: 1_000_000,
-            block_size: 1,
+            kv_free_tokens: Tokens(1_000_000),
+            block_size: Tokens(1),
             in_flight_seqs: 0,
             pipeline_depth: 4,
             max_seqs_per_batch: 1024,
@@ -222,45 +228,45 @@ mod tests {
     fn eq1_wt_spreads_pending_tokens_over_t_iterations() {
         // #WP = 8000, #T = 8 → 1000, inside [MinP, MaxP].
         let p = TokenThrottle::default();
-        assert_eq!(p.prefill_budget(&view(8000, 0, 0, 1.0)), 1000);
+        assert_eq!(p.prefill_budget(&view(8000, 0, 0, 1.0)), Tokens(1000));
     }
 
     #[test]
     fn eq1_clamps_to_min_and_max() {
         let p = TokenThrottle::default();
         // 40/8 = 5 < MinP=32 → raised to MinP (still ≤ #WP = 40).
-        assert_eq!(p.prefill_budget(&view(40, 0, 0, 1.0)), 32);
+        assert_eq!(p.prefill_budget(&view(40, 0, 0, 1.0)), Tokens(32));
         // When fewer than MinP tokens wait, schedule all of them.
-        assert_eq!(p.prefill_budget(&view(20, 0, 0, 1.0)), 20);
+        assert_eq!(p.prefill_budget(&view(20, 0, 0, 1.0)), Tokens(20));
         // 100/8 = 13 < MinP → MinP, and 100 > MinP so not WP-capped.
-        assert_eq!(p.prefill_budget(&view(100, 0, 0, 1.0)), 32);
+        assert_eq!(p.prefill_budget(&view(100, 0, 0, 1.0)), Tokens(32));
         // Huge backlog → MaxP.
-        assert_eq!(p.prefill_budget(&view(1_000_000, 0, 0, 1.0)), 2048);
+        assert_eq!(p.prefill_budget(&view(1_000_000, 0, 0, 1.0)), Tokens(2048));
     }
 
     #[test]
     fn eq2_ut_scales_with_kv_free_rate() {
         let p = TokenThrottle::new(ThrottleConfig::default().without_wt());
         // KV_free = 0.525, thresh = 0.05 → scale = 0.5 → 1024.
-        assert_eq!(p.prefill_budget(&view(1_000_000, 0, 0, 0.525)), 1024);
+        assert_eq!(p.prefill_budget(&view(1_000_000, 0, 0, 0.525)), Tokens(1024));
         // Full cache free → MaxP.
-        assert_eq!(p.prefill_budget(&view(1_000_000, 0, 0, 1.0)), 2048);
+        assert_eq!(p.prefill_budget(&view(1_000_000, 0, 0, 1.0)), Tokens(2048));
     }
 
     #[test]
     fn threshold_suspends_prefill_near_capacity() {
         let p = TokenThrottle::default();
-        assert_eq!(p.prefill_budget(&view(1_000_000, 0, 0, 0.049)), 0);
-        assert!(p.prefill_budget(&view(1_000_000, 0, 0, 0.051)) > 0);
+        assert_eq!(p.prefill_budget(&view(1_000_000, 0, 0, 0.049)), Tokens(0));
+        assert!(p.prefill_budget(&view(1_000_000, 0, 0, 0.051)) > Tokens(0));
     }
 
     #[test]
     fn eq3_takes_min_of_wt_and_ut_then_floors_at_minp() {
         let p = TokenThrottle::default();
         // WT: 8000/8 = 1000; UT at KV_free 0.1: 2048×(0.05/0.95) ≈ 107.
-        assert_eq!(p.prefill_budget(&view(8000, 0, 0, 0.1)), 107);
+        assert_eq!(p.prefill_budget(&view(8000, 0, 0, 0.1)), Tokens(107));
         // Near the threshold UT → ~0, MinP floor applies.
-        assert_eq!(p.prefill_budget(&view(8000, 0, 0, 0.051)), 32);
+        assert_eq!(p.prefill_budget(&view(8000, 0, 0, 0.051)), Tokens(32));
     }
 
     #[test]
@@ -285,11 +291,11 @@ mod tests {
     #[test]
     fn plan_reserves_kv_slots_for_decodes_before_prefill() {
         let mut v = view(500, 8, 8, 1.0);
-        v.kv_free_tokens = 10; // 8 decode slots leave 2 for prefill
+        v.kv_free_tokens = Tokens(10); // 8 decode slots leave 2 for prefill
         let p = TokenThrottle::default();
         let plan = p.plan(&v);
         assert_eq!(plan.decode.len(), 2); // ceil(8/4)
-        assert!(plan.prefill_tokens() <= 8);
+        assert!(plan.prefill_tokens() <= Tokens(8));
     }
 
     /// Regression test for the block-granularity bug: with 16-token blocks
@@ -300,26 +306,29 @@ mod tests {
     #[test]
     fn plan_reserves_whole_blocks_for_decodes_before_prefill() {
         let mut v = view(500, 16, 16, 1.0);
-        v.block_size = 16;
-        v.kv_free_tokens = 80; // 5 free blocks of 16
+        v.block_size = Tokens(16);
+        v.kv_free_tokens = Tokens(80); // 5 free blocks of 16
         let p = TokenThrottle::default();
         let plan = p.plan(&v);
         assert_eq!(plan.decode.len(), 4); // ceil(16/4), each at context 64
         assert!(
-            plan.prefill_tokens() <= 16,
+            plan.prefill_tokens() <= Tokens(16),
             "prefill must fit the one block left after decode reservation, got {}",
             plan.prefill_tokens()
         );
         // The plan as a whole fits the 5 free blocks.
-        let blocks: usize = plan
+        let blocks: gllm_units::Blocks = plan
             .decode
             .iter()
-            .map(|d| crate::policy::blocks_to_append(d.context_before, 1, 16))
+            .map(|d| crate::policy::blocks_to_append(d.context_before, Tokens(1), Tokens(16)))
             .chain(plan.prefill.iter().map(|c| {
-                crate::policy::blocks_to_append(c.context_before, c.tokens, 16)
+                crate::policy::blocks_to_append(c.context_before, c.tokens, Tokens(16))
             }))
             .sum();
-        assert!(blocks <= 5, "plan claims {blocks} blocks with only 5 free");
+        assert!(
+            blocks <= gllm_units::Blocks(5),
+            "plan claims {blocks} blocks with only 5 free"
+        );
     }
 
     #[test]
@@ -359,11 +368,11 @@ mod tests {
             let p = TokenThrottle::default();
             let b = p.prefill_budget(&view(wp, 0, 0, kv_free));
             prop_assert!(b <= p.config.max_p);
-            prop_assert!(b <= wp);
+            prop_assert!(b <= Tokens(wp));
             if wp == 0 || kv_free < p.config.kv_thresh {
-                prop_assert_eq!(b, 0);
+                prop_assert_eq!(b, Tokens(0));
             } else {
-                prop_assert!(b >= p.config.min_p.min(wp));
+                prop_assert!(b >= p.config.min_p.min(Tokens(wp)));
             }
         }
 

@@ -197,7 +197,7 @@ fn handle_chat(stream: &mut TcpStream, req: &Request, shared: &Shared) {
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
     let (tx, rx): (Sender<StreamEvent>, Receiver<StreamEvent>) = unbounded();
     shared.routes.lock().expect("routes lock").insert(id, tx);
-    shared.submitter.submit(GenRequest {
+    let submitted = shared.submitter.submit(GenRequest {
         id,
         prompt: prompt_tokens,
         max_new: parsed.max_tokens,
@@ -208,6 +208,16 @@ fn handle_chat(stream: &mut TcpStream, req: &Request, shared: &Shared) {
             seed: parsed.seed,
         },
     });
+    if submitted.is_err() {
+        shared.routes.lock().expect("routes lock").remove(&id);
+        let body = serde_json::to_vec(&ErrorResponse::new(
+            "engine_unavailable",
+            "driver has shut down; request was not submitted",
+        ))
+        .expect("serialise error");
+        let _ = respond(stream, 503, "application/json", &body);
+        return;
+    }
     let mut tokens = Vec::with_capacity(parsed.max_tokens);
     let result = loop {
         match rx.recv_timeout(Duration::from_secs(120)) {
@@ -279,7 +289,7 @@ fn handle_completion(stream: &mut TcpStream, req: &Request, shared: &Shared) {
     let (tx, rx): (Sender<StreamEvent>, Receiver<StreamEvent>) = unbounded();
     shared.routes.lock().expect("routes lock").insert(id, tx);
     let prompt_len = prompt_tokens.len();
-    shared.submitter.submit(GenRequest {
+    let submitted = shared.submitter.submit(GenRequest {
         id,
         prompt: prompt_tokens,
         max_new: parsed.max_tokens,
@@ -290,6 +300,16 @@ fn handle_completion(stream: &mut TcpStream, req: &Request, shared: &Shared) {
             seed: parsed.seed,
         },
     });
+    if submitted.is_err() {
+        shared.routes.lock().expect("routes lock").remove(&id);
+        let body = serde_json::to_vec(&ErrorResponse::new(
+            "engine_unavailable",
+            "driver has shut down; request was not submitted",
+        ))
+        .expect("serialise error");
+        let _ = respond(stream, 503, "application/json", &body);
+        return;
+    }
 
     let result = if parsed.stream {
         stream_completion(stream, shared, &parsed, id, prompt_len, &rx)

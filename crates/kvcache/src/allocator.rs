@@ -6,6 +6,7 @@
 //! paper lists among its integrated optimizations in §3.4); a block returns
 //! to the free list only when its last owner releases it.
 
+use gllm_units::Blocks;
 use serde::{Deserialize, Serialize};
 
 /// Index of one physical KV block.
@@ -30,39 +31,40 @@ pub struct BlockAllocator {
 
 impl BlockAllocator {
     /// An allocator over `num_blocks` physical blocks, all initially free.
-    pub fn new(num_blocks: usize) -> Self {
-        assert!(num_blocks > 0, "KV cache must have at least one block");
-        assert!(num_blocks <= u32::MAX as usize, "block pool too large");
+    pub fn new(num_blocks: Blocks) -> Self {
+        let n = num_blocks.get();
+        assert!(n > 0, "KV cache must have at least one block");
+        assert!(n <= u32::MAX as usize, "block pool too large");
         Self {
-            ref_counts: vec![0; num_blocks],
+            ref_counts: vec![0; n],
             // Pop from the back; reversed so low ids are handed out first,
             // which makes tests and traces easier to read.
-            free_list: (0..num_blocks as u32).rev().map(BlockId).collect(),
+            free_list: (0..n as u32).rev().map(BlockId).collect(),
         }
     }
 
     /// Total blocks in the pool.
     #[inline]
-    pub fn num_total(&self) -> usize {
-        self.ref_counts.len()
+    pub fn num_total(&self) -> Blocks {
+        Blocks(self.ref_counts.len())
     }
 
     /// Blocks currently free.
     #[inline]
-    pub fn num_free(&self) -> usize {
-        self.free_list.len()
+    pub fn num_free(&self) -> Blocks {
+        Blocks(self.free_list.len())
     }
 
     /// Blocks with at least one owner.
     #[inline]
-    pub fn num_used(&self) -> usize {
+    pub fn num_used(&self) -> Blocks {
         self.num_total() - self.num_free()
     }
 
     /// Fraction of the pool that is free — the paper's `KV_free ∈ [0, 1]`.
     #[inline]
     pub fn free_rate(&self) -> f64 {
-        self.num_free() as f64 / self.num_total() as f64
+        self.num_free().get() as f64 / self.num_total().get() as f64
     }
 
     /// Allocate one block with reference count 1, or `None` if exhausted.
@@ -74,11 +76,11 @@ impl BlockAllocator {
     }
 
     /// Allocate `n` blocks atomically: either all succeed or none are taken.
-    pub fn allocate_many(&mut self, n: usize) -> Option<Vec<BlockId>> {
+    pub fn allocate_many(&mut self, n: Blocks) -> Option<Vec<BlockId>> {
         if self.num_free() < n {
             return None;
         }
-        Some((0..n).map(|_| self.allocate().expect("checked")).collect())
+        Some((0..n.get()).map(|_| self.allocate().expect("checked")).collect())
     }
 
     /// Add one owner to an allocated block (prefix sharing).
@@ -117,7 +119,7 @@ mod tests {
 
     #[test]
     fn allocates_all_blocks_then_fails() {
-        let mut a = BlockAllocator::new(4);
+        let mut a = BlockAllocator::new(Blocks(4));
         let got: Vec<_> = (0..4).map(|_| a.allocate().unwrap()).collect();
         assert_eq!(got.len(), 4);
         assert!(a.allocate().is_none());
@@ -126,39 +128,39 @@ mod tests {
 
     #[test]
     fn release_returns_block_to_pool() {
-        let mut a = BlockAllocator::new(2);
+        let mut a = BlockAllocator::new(Blocks(2));
         let b = a.allocate().unwrap();
         a.release(b);
-        assert_eq!(a.num_free(), 2);
+        assert_eq!(a.num_free(), Blocks(2));
         assert_eq!(a.free_rate(), 1.0);
     }
 
     #[test]
     fn allocate_many_is_atomic() {
-        let mut a = BlockAllocator::new(3);
+        let mut a = BlockAllocator::new(Blocks(3));
         let _held = a.allocate().unwrap();
-        assert!(a.allocate_many(3).is_none());
-        assert_eq!(a.num_free(), 2, "failed bulk allocation must not leak");
-        assert!(a.allocate_many(2).is_some());
+        assert!(a.allocate_many(Blocks(3)).is_none());
+        assert_eq!(a.num_free(), Blocks(2), "failed bulk allocation must not leak");
+        assert!(a.allocate_many(Blocks(2)).is_some());
     }
 
     #[test]
     fn shared_block_survives_first_release() {
-        let mut a = BlockAllocator::new(1);
+        let mut a = BlockAllocator::new(Blocks(1));
         let b = a.allocate().unwrap();
         a.retain(b);
         assert_eq!(a.ref_count(b), 2);
         assert!(!a.is_exclusive(b));
         a.release(b);
-        assert_eq!(a.num_free(), 0);
+        assert_eq!(a.num_free(), Blocks(0));
         a.release(b);
-        assert_eq!(a.num_free(), 1);
+        assert_eq!(a.num_free(), Blocks(1));
     }
 
     #[test]
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
-        let mut a = BlockAllocator::new(1);
+        let mut a = BlockAllocator::new(Blocks(1));
         let b = a.allocate().unwrap();
         a.release(b);
         a.release(b);
@@ -167,7 +169,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "retain of a free block")]
     fn retain_of_free_block_panics() {
-        let mut a = BlockAllocator::new(1);
+        let mut a = BlockAllocator::new(Blocks(1));
         a.retain(BlockId(0));
     }
 
@@ -177,7 +179,7 @@ mod tests {
         /// succeeds.
         #[test]
         fn conservation_under_random_ops(ops in proptest::collection::vec(0u8..3, 1..200)) {
-            let mut a = BlockAllocator::new(16);
+            let mut a = BlockAllocator::new(Blocks(16));
             let mut held: Vec<BlockId> = Vec::new();
             for op in ops {
                 match op {
@@ -185,7 +187,7 @@ mod tests {
                         if let Some(b) = a.allocate() {
                             held.push(b);
                         } else {
-                            prop_assert_eq!(a.num_free(), 0);
+                            prop_assert_eq!(a.num_free(), Blocks(0));
                         }
                     }
                     1 => {
@@ -206,7 +208,7 @@ mod tests {
             for b in held {
                 a.release(b);
             }
-            prop_assert_eq!(a.num_free(), 16);
+            prop_assert_eq!(a.num_free(), Blocks(16));
         }
     }
 }

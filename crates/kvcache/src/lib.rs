@@ -25,3 +25,7 @@ pub mod page_table;
 pub use allocator::{BlockAllocator, BlockId};
 pub use manager::{KvCacheManager, KvError, KvStats, SeqId};
 pub use page_table::PageTable;
+
+// Re-exported so downstream crates can name the unit newtypes without a
+// separate `gllm-units` dependency edge.
+pub use gllm_units::{Blocks, Bytes, Tokens};

@@ -7,9 +7,14 @@
 //! chunks, extends sequences during decode, evicts sequences under pressure
 //! (preemption with recomputation, §3.1.3), and exposes the `KV_free` signal
 //! Token Throttling's UT rule consumes.
+//!
+//! All token/block quantities at this interface use the `gllm-units`
+//! newtypes so token-vs-block confusion (PR 1's headline bug) cannot
+//! recur silently.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use gllm_units::{Blocks, Tokens};
 use serde::{Deserialize, Serialize};
 
 use crate::allocator::{BlockAllocator, BlockId};
@@ -24,9 +29,9 @@ pub enum KvError {
     /// Not enough free blocks to satisfy an allocation.
     OutOfBlocks {
         /// Blocks the operation needed.
-        requested: usize,
+        requested: Blocks,
         /// Blocks actually free.
-        available: usize,
+        available: Blocks,
     },
     /// The sequence id has no page table.
     UnknownSequence(SeqId),
@@ -49,11 +54,11 @@ impl std::error::Error for KvError {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KvStats {
     /// Total physical blocks.
-    pub total_blocks: usize,
+    pub total_blocks: Blocks,
     /// Free physical blocks.
-    pub free_blocks: usize,
+    pub free_blocks: Blocks,
     /// Blocks with at least one owner.
-    pub used_blocks: usize,
+    pub used_blocks: Blocks,
     /// Sequences with live page tables.
     pub num_sequences: usize,
     /// Cumulative evictions since construction.
@@ -63,40 +68,40 @@ pub struct KvStats {
 /// The unified KV cache manager shared by every pipeline stage.
 #[derive(Debug, Clone)]
 pub struct KvCacheManager {
-    block_size: usize,
+    block_size: Tokens,
     allocator: BlockAllocator,
-    tables: HashMap<SeqId, PageTable>,
+    tables: BTreeMap<SeqId, PageTable>,
     preemptions: u64,
 }
 
 impl KvCacheManager {
     /// A manager over `num_blocks` blocks of `block_size` tokens each.
-    pub fn new(num_blocks: usize, block_size: usize) -> Self {
-        assert!(block_size > 0);
+    pub fn new(num_blocks: Blocks, block_size: Tokens) -> Self {
+        assert!(!block_size.is_zero());
         Self {
             block_size,
             allocator: BlockAllocator::new(num_blocks),
-            tables: HashMap::new(),
+            tables: BTreeMap::new(),
             preemptions: 0,
         }
     }
 
     /// A manager sized from a cluster's token capacity (as computed by
     /// `gllm_model::ClusterSpec`), rounding down to whole blocks.
-    pub fn from_token_capacity(capacity_tokens: usize, block_size: usize) -> Self {
-        let blocks = (capacity_tokens / block_size).max(1);
+    pub fn from_token_capacity(capacity_tokens: Tokens, block_size: Tokens) -> Self {
+        let blocks = capacity_tokens.full_blocks(block_size).max(Blocks(1));
         Self::new(blocks, block_size)
     }
 
     /// Tokens per block.
     #[inline]
-    pub fn block_size(&self) -> usize {
+    pub fn block_size(&self) -> Tokens {
         self.block_size
     }
 
     /// Maximum tokens the cache can hold.
-    pub fn token_capacity(&self) -> usize {
-        self.allocator.num_total() * self.block_size
+    pub fn token_capacity(&self) -> Tokens {
+        self.allocator.num_total().to_tokens(self.block_size)
     }
 
     /// The paper's `KV_free ∈ [0, 1]`: fraction of blocks free.
@@ -112,7 +117,7 @@ impl KvCacheManager {
     }
 
     /// Free blocks right now.
-    pub fn free_blocks(&self) -> usize {
+    pub fn free_blocks(&self) -> Blocks {
         self.allocator.num_free()
     }
 
@@ -122,8 +127,8 @@ impl KvCacheManager {
     }
 
     /// Tokens cached for `seq` (0 when unknown).
-    pub fn context_len(&self, seq: SeqId) -> usize {
-        self.tables.get(&seq).map_or(0, |t| t.num_tokens())
+    pub fn context_len(&self, seq: SeqId) -> Tokens {
+        self.tables.get(&seq).map_or(Tokens::ZERO, |t| t.num_tokens())
     }
 
     /// Borrow a sequence's page table (for slot lookup by the transformer).
@@ -132,30 +137,30 @@ impl KvCacheManager {
     }
 
     /// Blocks that appending `tokens` to `seq` would allocate.
-    pub fn blocks_needed(&self, seq: SeqId, tokens: usize) -> usize {
+    pub fn blocks_needed(&self, seq: SeqId, tokens: Tokens) -> Blocks {
         match self.tables.get(&seq) {
             Some(t) => t.blocks_needed_for(tokens),
-            None => tokens.div_ceil(self.block_size),
+            None => tokens.to_blocks(self.block_size),
         }
     }
 
     /// Whether appending `tokens` to `seq` would succeed right now.
-    pub fn can_append(&self, seq: SeqId, tokens: usize) -> bool {
+    pub fn can_append(&self, seq: SeqId, tokens: Tokens) -> bool {
         self.blocks_needed(seq, tokens) <= self.allocator.num_free()
     }
 
     /// Maximum tokens appendable to `seq` right now: the slack in its last
     /// block plus every free block (the engine uses this to trim prefill
     /// chunks under KV pressure).
-    pub fn max_appendable(&self, seq: SeqId) -> usize {
-        let slack = self.tables.get(&seq).map_or(0, |t| t.slack());
-        slack + self.allocator.num_free() * self.block_size
+    pub fn max_appendable(&self, seq: SeqId) -> Tokens {
+        let slack = self.tables.get(&seq).map_or(Tokens::ZERO, |t| t.slack());
+        slack + self.allocator.num_free().to_tokens(self.block_size)
     }
 
     /// Append `tokens` slots to `seq`, allocating blocks as needed and
     /// creating the page table on first use. Atomic: on failure nothing is
     /// allocated.
-    pub fn append(&mut self, seq: SeqId, tokens: usize) -> Result<(), KvError> {
+    pub fn append(&mut self, seq: SeqId, tokens: Tokens) -> Result<(), KvError> {
         let needed = self.blocks_needed(seq, tokens);
         if needed > self.allocator.num_free() {
             return Err(KvError::OutOfBlocks {
@@ -166,7 +171,7 @@ impl KvCacheManager {
         let new_blocks = self
             .allocator
             .allocate_many(needed)
-            .expect("free-count checked above");
+            .expect("free-count checked above"); // lint:allow(panic-freedom): free count verified on the previous line, allocation cannot fail
         let table = self
             .tables
             .entry(seq)
@@ -189,7 +194,7 @@ impl KvCacheManager {
     /// tokens that must be recomputed when the sequence is rescheduled
     /// (the paper's "premature preemption … causes costly recomputation
     /// time", §3.1.3).
-    pub fn evict(&mut self, seq: SeqId) -> Result<usize, KvError> {
+    pub fn evict(&mut self, seq: SeqId) -> Result<Tokens, KvError> {
         let lost = self.context_len(seq);
         self.free(seq)?;
         self.preemptions += 1;
@@ -201,19 +206,19 @@ impl KvCacheManager {
     /// to the child's table. Returns the number of tokens shared.
     ///
     /// The child must not already exist.
-    pub fn fork_prefix(&mut self, parent: SeqId, child: SeqId) -> Result<usize, KvError> {
+    pub fn fork_prefix(&mut self, parent: SeqId, child: SeqId) -> Result<Tokens, KvError> {
         assert!(!self.tables.contains_key(&child), "child {child} already exists");
         let parent_table = self
             .tables
             .get(&parent)
             .ok_or(KvError::UnknownSequence(parent))?;
-        let full_blocks = parent_table.num_tokens() / self.block_size;
-        let shared: Vec<BlockId> = parent_table.blocks()[..full_blocks].to_vec();
+        let full_blocks = parent_table.num_tokens().full_blocks(self.block_size);
+        let shared: Vec<BlockId> = parent_table.blocks()[..full_blocks.get()].to_vec();
         for &b in &shared {
             self.allocator.retain(b);
         }
         let mut table = PageTable::new(self.block_size);
-        let tokens = full_blocks * self.block_size;
+        let tokens = full_blocks.to_tokens(self.block_size);
         table.push_blocks(shared);
         table.fill(tokens);
         self.tables.insert(child, table);
@@ -245,12 +250,10 @@ impl KvCacheManager {
         }
     }
 
-    /// Ids of all live sequences, sorted (deterministic iteration for the
-    /// simulator's eviction policy).
+    /// Ids of all live sequences, in ascending order (the table is a
+    /// `BTreeMap`, so iteration is deterministic by construction).
     pub fn live_sequences(&self) -> Vec<SeqId> {
-        let mut v: Vec<SeqId> = self.tables.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.tables.keys().copied().collect()
     }
 }
 
@@ -259,90 +262,97 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    fn mgr(blocks: usize, block_size: usize) -> KvCacheManager {
+        KvCacheManager::new(Blocks(blocks), Tokens(block_size))
+    }
+
     #[test]
     fn append_allocates_only_needed_blocks() {
-        let mut m = KvCacheManager::new(10, 16);
-        m.append(1, 17).unwrap();
-        assert_eq!(m.free_blocks(), 8);
+        let mut m = mgr(10, 16);
+        m.append(1, Tokens(17)).unwrap();
+        assert_eq!(m.free_blocks(), Blocks(8));
         // 15 more tokens fit in the second block's slack.
-        m.append(1, 15).unwrap();
-        assert_eq!(m.free_blocks(), 8);
-        m.append(1, 1).unwrap();
-        assert_eq!(m.free_blocks(), 7);
-        assert_eq!(m.context_len(1), 33);
+        m.append(1, Tokens(15)).unwrap();
+        assert_eq!(m.free_blocks(), Blocks(8));
+        m.append(1, Tokens(1)).unwrap();
+        assert_eq!(m.free_blocks(), Blocks(7));
+        assert_eq!(m.context_len(1), Tokens(33));
     }
 
     #[test]
     fn failed_append_is_atomic() {
-        let mut m = KvCacheManager::new(2, 16);
-        m.append(1, 16).unwrap();
-        let err = m.append(2, 33).unwrap_err();
-        assert_eq!(err, KvError::OutOfBlocks { requested: 3, available: 1 });
-        assert_eq!(m.free_blocks(), 1);
+        let mut m = mgr(2, 16);
+        m.append(1, Tokens(16)).unwrap();
+        let err = m.append(2, Tokens(33)).unwrap_err();
+        assert_eq!(
+            err,
+            KvError::OutOfBlocks { requested: Blocks(3), available: Blocks(1) }
+        );
+        assert_eq!(m.free_blocks(), Blocks(1));
         assert!(!m.contains(2));
     }
 
     #[test]
     fn free_returns_all_blocks() {
-        let mut m = KvCacheManager::new(4, 4);
-        m.append(7, 13).unwrap();
-        assert_eq!(m.free_blocks(), 0);
+        let mut m = mgr(4, 4);
+        m.append(7, Tokens(13)).unwrap();
+        assert_eq!(m.free_blocks(), Blocks(0));
         m.free(7).unwrap();
-        assert_eq!(m.free_blocks(), 4);
+        assert_eq!(m.free_blocks(), Blocks(4));
         assert_eq!(m.free_rate(), 1.0);
         assert!(matches!(m.free(7), Err(KvError::UnknownSequence(7))));
     }
 
     #[test]
     fn evict_counts_preemptions_and_reports_lost_tokens() {
-        let mut m = KvCacheManager::new(4, 4);
-        m.append(1, 10).unwrap();
-        assert_eq!(m.evict(1).unwrap(), 10);
+        let mut m = mgr(4, 4);
+        m.append(1, Tokens(10)).unwrap();
+        assert_eq!(m.evict(1).unwrap(), Tokens(10));
         assert_eq!(m.preemption_count(), 1);
-        assert_eq!(m.free_blocks(), 4);
+        assert_eq!(m.free_blocks(), Blocks(4));
     }
 
     #[test]
     fn can_append_predicts_append() {
-        let mut m = KvCacheManager::new(2, 8);
-        assert!(m.can_append(1, 16));
-        assert!(!m.can_append(1, 17));
-        m.append(1, 16).unwrap();
-        assert!(m.can_append(1, 0));
-        assert!(!m.can_append(1, 1));
+        let mut m = mgr(2, 8);
+        assert!(m.can_append(1, Tokens(16)));
+        assert!(!m.can_append(1, Tokens(17)));
+        m.append(1, Tokens(16)).unwrap();
+        assert!(m.can_append(1, Tokens(0)));
+        assert!(!m.can_append(1, Tokens(1)));
     }
 
     #[test]
     fn fork_shares_full_blocks_only() {
-        let mut m = KvCacheManager::new(8, 4);
-        m.append(1, 10).unwrap(); // 3 blocks, last partially filled
+        let mut m = mgr(8, 4);
+        m.append(1, Tokens(10)).unwrap(); // 3 blocks, last partially filled
         let shared = m.fork_prefix(1, 2).unwrap();
-        assert_eq!(shared, 8);
-        assert_eq!(m.context_len(2), 8);
+        assert_eq!(shared, Tokens(8));
+        assert_eq!(m.context_len(2), Tokens(8));
         // Only 3 blocks total allocated; 2 shared + 1 exclusive to parent.
-        assert_eq!(m.stats().used_blocks, 3);
+        assert_eq!(m.stats().used_blocks, Blocks(3));
         assert!(!m.last_block_exclusive(2));
         // Freeing the parent keeps the shared blocks alive.
         m.free(1).unwrap();
-        assert_eq!(m.stats().used_blocks, 2);
-        assert_eq!(m.context_len(2), 8);
+        assert_eq!(m.stats().used_blocks, Blocks(2));
+        assert_eq!(m.context_len(2), Tokens(8));
         m.free(2).unwrap();
-        assert_eq!(m.free_blocks(), 8);
+        assert_eq!(m.free_blocks(), Blocks(8));
     }
 
     #[test]
     fn token_capacity_and_sizing_helpers() {
-        let m = KvCacheManager::from_token_capacity(1000, 16);
-        assert_eq!(m.token_capacity(), 62 * 16);
-        assert_eq!(m.block_size(), 16);
+        let m = KvCacheManager::from_token_capacity(Tokens(1000), Tokens(16));
+        assert_eq!(m.token_capacity(), Tokens(62 * 16));
+        assert_eq!(m.block_size(), Tokens(16));
     }
 
     #[test]
     fn live_sequences_sorted() {
-        let mut m = KvCacheManager::new(8, 4);
-        m.append(5, 1).unwrap();
-        m.append(2, 1).unwrap();
-        m.append(9, 1).unwrap();
+        let mut m = mgr(8, 4);
+        m.append(5, Tokens(1)).unwrap();
+        m.append(2, Tokens(1)).unwrap();
+        m.append(9, Tokens(1)).unwrap();
         assert_eq!(m.live_sequences(), vec![2, 5, 9]);
     }
 
@@ -353,12 +363,12 @@ mod tests {
         fn no_leaks_under_random_workload(
             ops in proptest::collection::vec((0u8..3, 0u64..6, 1usize..40), 1..300)
         ) {
-            let mut m = KvCacheManager::new(32, 8);
+            let mut m = mgr(32, 8);
             for (op, seq, tokens) in ops {
                 match op {
                     0 => {
-                        let fits = m.can_append(seq, tokens);
-                        let res = m.append(seq, tokens);
+                        let fits = m.can_append(seq, Tokens(tokens));
+                        let res = m.append(seq, Tokens(tokens));
                         prop_assert_eq!(fits, res.is_ok());
                     }
                     1 => { let _ = m.free(seq); }
@@ -366,10 +376,10 @@ mod tests {
                 }
                 let s = m.stats();
                 prop_assert_eq!(s.free_blocks + s.used_blocks, s.total_blocks);
-                let live_tokens: usize =
+                let live_tokens: Tokens =
                     m.live_sequences().iter().map(|&s| m.context_len(s)).sum();
                 // Every live token occupies a slot in some used block.
-                prop_assert!(live_tokens <= s.used_blocks * m.block_size());
+                prop_assert!(live_tokens <= s.used_blocks.to_tokens(m.block_size()));
             }
             for seq in m.live_sequences() {
                 m.free(seq).unwrap();

@@ -5,6 +5,7 @@
 //! and freeing go through the [`crate::manager::KvCacheManager`] so that
 //! reference counts stay consistent.
 
+use gllm_units::{Blocks, Tokens};
 use serde::{Deserialize, Serialize};
 
 use crate::allocator::BlockId;
@@ -15,31 +16,31 @@ pub struct PageTable {
     /// Physical blocks in logical order.
     blocks: Vec<BlockId>,
     /// Number of token slots currently filled.
-    num_tokens: usize,
+    num_tokens: Tokens,
     /// Tokens per block (fixed for the lifetime of the table).
-    block_size: usize,
+    block_size: Tokens,
 }
 
 impl PageTable {
     /// An empty table with the given block size.
-    pub fn new(block_size: usize) -> Self {
-        assert!(block_size > 0);
+    pub fn new(block_size: Tokens) -> Self {
+        assert!(!block_size.is_zero());
         Self {
             blocks: Vec::new(),
-            num_tokens: 0,
+            num_tokens: Tokens::ZERO,
             block_size,
         }
     }
 
     /// Tokens per block.
     #[inline]
-    pub fn block_size(&self) -> usize {
+    pub fn block_size(&self) -> Tokens {
         self.block_size
     }
 
     /// Token slots currently filled.
     #[inline]
-    pub fn num_tokens(&self) -> usize {
+    pub fn num_tokens(&self) -> Tokens {
         self.num_tokens
     }
 
@@ -49,15 +50,17 @@ impl PageTable {
         &self.blocks
     }
 
-    /// Free slots remaining in the last block.
-    pub fn slack(&self) -> usize {
-        self.blocks.len() * self.block_size - self.num_tokens
+    /// Free token slots remaining in the last block.
+    pub fn slack(&self) -> Tokens {
+        Tokens(self.blocks.len() * self.block_size.get() - self.num_tokens.get())
     }
 
     /// Blocks that must be appended before `extra` more tokens fit.
-    pub fn blocks_needed_for(&self, extra: usize) -> usize {
+    pub fn blocks_needed_for(&self, extra: Tokens) -> Blocks {
         let total = self.num_tokens + extra;
-        total.div_ceil(self.block_size).saturating_sub(self.blocks.len())
+        total
+            .to_blocks(self.block_size)
+            .saturating_sub(Blocks(self.blocks.len()))
     }
 
     /// Append physical blocks (handed out by the manager).
@@ -67,12 +70,13 @@ impl PageTable {
 
     /// Mark `n` more token slots as filled. Panics if capacity is exceeded —
     /// the manager must have appended blocks first.
-    pub(crate) fn fill(&mut self, n: usize) {
-        let cap = self.blocks.len() * self.block_size;
+    pub(crate) fn fill(&mut self, n: Tokens) {
+        let cap = self.blocks.len() * self.block_size.get();
         assert!(
-            self.num_tokens + n <= cap,
-            "page table overflow: {} + {n} > {cap}",
-            self.num_tokens
+            self.num_tokens.get() + n.get() <= cap,
+            "page table overflow: {} + {} > {cap}",
+            self.num_tokens.get(),
+            n.get()
         );
         self.num_tokens += n;
     }
@@ -80,16 +84,17 @@ impl PageTable {
     /// Drain all blocks (eviction); the table keeps its block size but
     /// forgets its contents.
     pub(crate) fn take_blocks(&mut self) -> Vec<BlockId> {
-        self.num_tokens = 0;
+        self.num_tokens = Tokens::ZERO;
         std::mem::take(&mut self.blocks)
     }
 
     /// Global slot index of logical token position `pos`, for indexing a
     /// flat paged KV tensor: `block.index() × block_size + offset`.
     pub fn slot_of(&self, pos: usize) -> usize {
-        assert!(pos < self.num_tokens, "position {pos} not filled");
-        let block = self.blocks[pos / self.block_size];
-        block.index() * self.block_size + pos % self.block_size
+        assert!(pos < self.num_tokens.get(), "position {pos} not filled");
+        let bs = self.block_size.get();
+        let block = self.blocks[pos / bs];
+        block.index() * bs + pos % bs
     }
 }
 
@@ -98,7 +103,7 @@ mod tests {
     use super::*;
 
     fn table_with(blocks: &[u32], block_size: usize) -> PageTable {
-        let mut t = PageTable::new(block_size);
+        let mut t = PageTable::new(Tokens(block_size));
         t.push_blocks(blocks.iter().copied().map(BlockId));
         t
     }
@@ -106,24 +111,24 @@ mod tests {
     #[test]
     fn blocks_needed_rounds_up() {
         let mut t = table_with(&[0], 16);
-        t.fill(10);
-        assert_eq!(t.blocks_needed_for(6), 0); // fits in slack
-        assert_eq!(t.blocks_needed_for(7), 1);
-        assert_eq!(t.blocks_needed_for(16 + 7), 2);
+        t.fill(Tokens(10));
+        assert_eq!(t.blocks_needed_for(Tokens(6)), Blocks(0)); // fits in slack
+        assert_eq!(t.blocks_needed_for(Tokens(7)), Blocks(1));
+        assert_eq!(t.blocks_needed_for(Tokens(16 + 7)), Blocks(2));
     }
 
     #[test]
     fn slack_tracks_last_block_occupancy() {
         let mut t = table_with(&[0, 1], 16);
-        t.fill(20);
-        assert_eq!(t.slack(), 12);
-        assert_eq!(t.num_tokens(), 20);
+        t.fill(Tokens(20));
+        assert_eq!(t.slack(), Tokens(12));
+        assert_eq!(t.num_tokens(), Tokens(20));
     }
 
     #[test]
     fn slot_of_maps_through_noncontiguous_blocks() {
         let mut t = table_with(&[7, 2], 4);
-        t.fill(6);
+        t.fill(Tokens(6));
         assert_eq!(t.slot_of(0), 7 * 4);
         assert_eq!(t.slot_of(3), 7 * 4 + 3);
         assert_eq!(t.slot_of(4), 2 * 4);
@@ -134,7 +139,7 @@ mod tests {
     #[should_panic(expected = "not filled")]
     fn slot_of_unfilled_position_panics() {
         let mut t = table_with(&[0], 4);
-        t.fill(2);
+        t.fill(Tokens(2));
         t.slot_of(2);
     }
 
@@ -142,16 +147,16 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn fill_beyond_capacity_panics() {
         let mut t = table_with(&[0], 4);
-        t.fill(5);
+        t.fill(Tokens(5));
     }
 
     #[test]
     fn take_blocks_resets_table() {
         let mut t = table_with(&[3, 4], 4);
-        t.fill(5);
+        t.fill(Tokens(5));
         let drained = t.take_blocks();
         assert_eq!(drained, vec![BlockId(3), BlockId(4)]);
-        assert_eq!(t.num_tokens(), 0);
+        assert_eq!(t.num_tokens(), Tokens(0));
         assert!(t.blocks().is_empty());
     }
 }

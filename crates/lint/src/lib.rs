@@ -1,0 +1,985 @@
+//! In-tree static-analysis pass (`gllm-lint`), modeled on rust-lang's
+//! `tidy`: purely lexical, line-level checks with no external parser
+//! dependencies, so it runs fully offline as part of the tier-1 gate.
+//!
+//! Five check families (see `DESIGN.md` §7 for the rationale):
+//!
+//! * **unit-confusion** — the public interfaces of the scheduler/KV layers
+//!   (`throttle.rs`, `plan.rs`, `policy.rs`, `pool.rs`, `allocator.rs`,
+//!   `page_table.rs`, `manager.rs`) must pass quantities as the `Tokens`/
+//!   `Blocks`/`Bytes` newtypes from `gllm-units`, not raw integers.
+//! * **panic-freedom** — no `unwrap()`/`expect()`/`panic!`-family macros or
+//!   literal-index slicing in non-test code on the `crates/runtime` and
+//!   `crates/core` hot paths (asserts are fine: they document invariants).
+//! * **sim-determinism** — no wall clocks, OS entropy, or hash-ordered
+//!   containers in `crates/sim`, `crates/core`, `crates/metrics`: the
+//!   simulator must replay bit-identically (seeded RNG and `BTreeMap`
+//!   only).
+//! * **lock-discipline** — no `MutexGuard` held across channel `send(`/
+//!   `recv(` or thread `join()` in `crates/runtime` (a guard held across a
+//!   blocking rendezvous is how the pipeline deadlocks).
+//! * **vendor-hygiene** — every `vendor/` path dependency in the root
+//!   `Cargo.toml` must resolve to an actual shim crate and be documented in
+//!   `vendor/README.md`.
+//!
+//! Any finding can be suppressed with an inline comment carrying a
+//! mandatory reason:
+//!
+//! ```text
+//! do_thing().expect("checked above"); // lint:allow(panic-freedom): checked on the previous line
+//! // lint:allow(unit-confusion): the second cap counts sequences, not tokens
+//! pub fn budget_caps(...) -> Option<(Tokens, usize)> { ... }
+//! ```
+//!
+//! A trailing allow covers its own line; a standalone allow comment covers
+//! the next code line. An allow without a reason — or naming an unknown
+//! check — is itself reported as a violation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The check families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Check {
+    /// Raw integers crossing unit-bearing public interfaces.
+    UnitConfusion,
+    /// Panicking constructs on runtime/core hot paths.
+    PanicFreedom,
+    /// Nondeterminism sources in the simulation plane.
+    SimDeterminism,
+    /// Mutex guards held across blocking channel/thread operations.
+    LockDiscipline,
+    /// Vendored path dependencies without a shim or README entry.
+    VendorHygiene,
+}
+
+impl Check {
+    /// Every check, in reporting order.
+    pub const ALL: [Check; 5] = [
+        Check::UnitConfusion,
+        Check::PanicFreedom,
+        Check::SimDeterminism,
+        Check::LockDiscipline,
+        Check::VendorHygiene,
+    ];
+
+    /// The kebab-case name used in reports and `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::UnitConfusion => "unit-confusion",
+            Check::PanicFreedom => "panic-freedom",
+            Check::SimDeterminism => "sim-determinism",
+            Check::LockDiscipline => "lock-discipline",
+            Check::VendorHygiene => "vendor-hygiene",
+        }
+    }
+
+    /// Parse a check name as written inside `lint:allow(...)`.
+    pub fn from_name(name: &str) -> Option<Check> {
+        Check::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// One-line description for `--list-checks`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Check::UnitConfusion => {
+                "Tokens/Blocks/Bytes newtypes must cross scheduler/KV public interfaces, not raw ints"
+            }
+            Check::PanicFreedom => {
+                "no unwrap()/expect()/panic! family/literal-index slicing in runtime+core non-test code"
+            }
+            Check::SimDeterminism => {
+                "no Instant::now/SystemTime/thread_rng/HashMap/HashSet in sim, core and metrics"
+            }
+            Check::LockDiscipline => {
+                "no MutexGuard live across channel send(/recv( or thread join() in the runtime"
+            }
+            Check::VendorHygiene => {
+                "every vendor/ path dep resolves to a shim crate with a vendor/README.md entry"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The check that fired.
+    pub check: Check,
+    /// File the finding is in (workspace-relative when produced by
+    /// [`lint_workspace`]).
+    pub path: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.check,
+            self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: strings/comments stripped, comments kept aside.
+// ---------------------------------------------------------------------------
+
+/// One physical line after lexical preprocessing.
+#[derive(Debug, Clone, Default)]
+struct SourceLine {
+    /// The line with string/char literals blanked and comments removed.
+    code: String,
+    /// Concatenated text of `//` and `/* */` comments on the line.
+    comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` module (or is itself a
+    /// `#[test]`-attributed region opener).
+    in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Normal,
+    Str,
+    RawStr(usize),
+    BlockComment(usize),
+}
+
+/// Lexically split `contents` into per-line code and comment streams and
+/// tag test regions. Purely heuristic (no real parser) but resilient to
+/// strings containing `//`, nested block comments, raw strings and char
+/// literals.
+fn preprocess(contents: &str) -> Vec<SourceLine> {
+    let mut out = Vec::new();
+    let mut state = LexState::Normal;
+    // Brace depth of stripped code, and the depth at which an active
+    // #[cfg(test)] region began.
+    let mut depth = 0usize;
+    let mut test_region: Option<usize> = None;
+    let mut awaiting_test_brace = false;
+
+    for raw in contents.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                LexState::Normal => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw[raw.len() - bytes[i..].iter().collect::<String>().len()..]);
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        state = LexState::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = LexState::Str;
+                        i += 1;
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string r"..." / r#"..."#.
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            code.push('"');
+                            state = LexState::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes with a
+                        // quote within a few chars (handles escapes).
+                        let mut j = i + 1;
+                        if bytes.get(j) == Some(&'\\') {
+                            j += 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                        } else {
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'\'') {
+                            code.push_str("' '");
+                            i = j + 1;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                LexState::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        code.push('"');
+                        state = LexState::Normal;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                LexState::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if bytes.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            code.push('"');
+                            state = LexState::Normal;
+                            i += 1 + hashes;
+                        } else {
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                LexState::BlockComment(n) => {
+                    if c == '*' && next == Some('/') {
+                        if n == 1 {
+                            state = LexState::Normal;
+                        } else {
+                            state = LexState::BlockComment(n - 1);
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = LexState::BlockComment(n + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Unterminated single-line string: bail back to normal (heuristic;
+        // multi-line string *literal contents* are then seen as code, but
+        // every check token is unlikely inside one).
+        if state == LexState::Str {
+            state = LexState::Normal;
+        }
+
+        // Test-region tracking on the stripped code.
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            awaiting_test_brace = true;
+        }
+        let line_started_in_test = test_region.is_some();
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if awaiting_test_brace && test_region.is_none() {
+                        test_region = Some(depth);
+                        awaiting_test_brace = false;
+                    }
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if let Some(d) = test_region {
+                        if depth < d {
+                            test_region = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let in_test = line_started_in_test || test_region.is_some() || awaiting_test_brace;
+        out.push(SourceLine { code, comment, in_test });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Suppression comments.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Allows {
+    /// (1-based line, check) pairs whose findings are suppressed.
+    allowed: BTreeMap<(usize, Check), String>,
+    /// Malformed allows (missing reason / unknown check), already as
+    /// violations.
+    errors: Vec<(usize, String)>,
+}
+
+/// Extract `lint:allow(check): reason` annotations. A trailing allow
+/// applies to its own line; a standalone comment line applies to the next
+/// line that contains code.
+fn collect_allows(lines: &[SourceLine]) -> Allows {
+    let mut allows = Allows::default();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = line.comment.find("lint:allow(") else { continue };
+        let rest = &line.comment[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            allows
+                .errors
+                .push((lineno, "malformed lint:allow (missing `)`)".to_string()));
+            continue;
+        };
+        let name = &rest[..close];
+        let Some(check) = Check::from_name(name) else {
+            allows
+                .errors
+                .push((lineno, format!("lint:allow names unknown check `{name}`")));
+            continue;
+        };
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            allows.errors.push((
+                lineno,
+                format!("lint:allow({name}) requires a reason: `// lint:allow({name}): <why>`"),
+            ));
+            continue;
+        }
+        // Standalone comment line: cover the next line with code.
+        let target = if line.code.trim().is_empty() {
+            lines
+                .iter()
+                .enumerate()
+                .skip(idx + 1)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map(|(j, _)| j + 1)
+                .unwrap_or(lineno)
+        } else {
+            lineno
+        };
+        allows.allowed.insert((target, check), reason.to_string());
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------------
+// Per-file checks.
+// ---------------------------------------------------------------------------
+
+/// Identifier fragments that signal a unit-bearing quantity.
+const UNIT_HINTS: [&str; 6] = ["token", "block", "byte", "capacit", "budget", "slack"];
+
+fn has_unit_hint(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    UNIT_HINTS.iter().any(|h| lower.contains(h))
+}
+
+/// Split out `name: type` parameter pairs from a flattened signature.
+fn raw_int_params(sig: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    let b = sig.as_bytes();
+    let mut i = 0;
+    while let Some(colon) = sig[i..].find(':').map(|p| p + i) {
+        // Identifier before the colon.
+        let mut s = colon;
+        while s > 0 && (b[s - 1] as char).is_whitespace() {
+            s -= 1;
+        }
+        let mut start = s;
+        while start > 0 {
+            let c = b[start - 1] as char;
+            if c.is_ascii_alphanumeric() || c == '_' {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        let name = &sig[start..s];
+        // Type after the colon (skip `::` paths — only single colons are
+        // parameter separators).
+        let after = &sig[colon + 1..];
+        if after.starts_with(':') || (s > 0 && b[s - 1] as char == ':') {
+            i = colon + 1;
+            continue;
+        }
+        let ty: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| *c != ',' && *c != ')')
+            .collect();
+        let ty = ty.trim();
+        let is_raw_int = ty == "usize"
+            || ty == "u64"
+            || ty == "&usize"
+            || ty == "&u64"
+            || ty.starts_with("usize ")
+            || ty.starts_with("u64 ");
+        if is_raw_int && !name.is_empty() && has_unit_hint(name) {
+            found.push(name.to_string());
+        }
+        i = colon + 1;
+    }
+    found
+}
+
+/// unit-confusion: public `fn` signatures in unit-bearing files must not
+/// pass hinted quantities as raw `usize`/`u64`.
+fn check_unit_confusion(path: &Path, lines: &[SourceLine]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = &lines[i];
+        if line.in_test || !line.code.contains("pub fn ") {
+            i += 1;
+            continue;
+        }
+        let fn_line = i + 1;
+        // Flatten the signature: accumulate until the body opens or the
+        // declaration ends.
+        let mut sig = String::new();
+        let mut j = i;
+        while j < lines.len() && j < i + 24 {
+            let code = &lines[j].code;
+            if let Some(brace) = code.find('{') {
+                sig.push_str(&code[..brace]);
+                break;
+            }
+            sig.push_str(code);
+            sig.push(' ');
+            if code.contains(';') {
+                break;
+            }
+            j += 1;
+        }
+        let fn_name = sig
+            .split("pub fn ")
+            .nth(1)
+            .map(|rest| {
+                rest.chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect::<String>()
+            })
+            .unwrap_or_default();
+        let (params, ret) = match sig.split_once("->") {
+            Some((p, r)) => (p.to_string(), r.to_string()),
+            None => (sig.clone(), String::new()),
+        };
+        for name in raw_int_params(&params) {
+            out.push(Violation {
+                check: Check::UnitConfusion,
+                path: path.to_path_buf(),
+                line: fn_line,
+                message: format!(
+                    "`pub fn {fn_name}` takes `{name}` as a raw integer; use the \
+                     Tokens/Blocks/Bytes newtypes from gllm-units at public boundaries"
+                ),
+            });
+        }
+        if (ret.contains("usize") || ret.contains("u64")) && has_unit_hint(&fn_name) {
+            out.push(Violation {
+                check: Check::UnitConfusion,
+                path: path.to_path_buf(),
+                line: fn_line,
+                message: format!(
+                    "`pub fn {fn_name}` returns a raw integer; unit-named accessors must \
+                     return Tokens/Blocks/Bytes"
+                ),
+            });
+        }
+        i = j.max(i) + 1;
+    }
+    out
+}
+
+/// panic-freedom: panicking constructs in non-test hot-path code.
+fn check_panic_freedom(path: &Path, lines: &[SourceLine]) -> Vec<Violation> {
+    const PANICKY: [(&str, &str); 6] = [
+        (".unwrap()", "unwrap()"),
+        (".expect(", "expect()"),
+        ("panic!(", "panic!"),
+        ("unreachable!(", "unreachable!"),
+        ("todo!(", "todo!"),
+        ("unimplemented!(", "unimplemented!"),
+    ];
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (needle, label) in PANICKY {
+            if line.code.contains(needle) {
+                out.push(Violation {
+                    check: Check::PanicFreedom,
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{label}` on a hot path; return a Result (or justify with \
+                         `// lint:allow(panic-freedom): <why the invariant holds>`)"
+                    ),
+                });
+            }
+        }
+        // Literal-integer indexing (`xs[0]`): panics when the container is
+        // shorter than assumed. Non-literal indices are out of scope for a
+        // lexical pass.
+        if let Some(v) = find_literal_index(&line.code) {
+            out.push(Violation {
+                check: Check::PanicFreedom,
+                path: path.to_path_buf(),
+                line: idx + 1,
+                message: format!(
+                    "literal index `[{v}]` can panic; use .get({v}) / .first() or justify \
+                     with a lint:allow"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Find `ident[<digits>]` indexing in stripped code (skips array type/len
+/// syntax like `[0u8; 4]` which is not preceded by an identifier char).
+fn find_literal_index(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if !(prev.is_ascii_alphanumeric() || prev == '_' || prev == ')') {
+            continue;
+        }
+        let digits: String = code[i + 1..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if digits.is_empty() {
+            continue;
+        }
+        if code[i + 1 + digits.len()..].starts_with(']') {
+            return Some(digits);
+        }
+    }
+    None
+}
+
+/// sim-determinism: wall clocks, OS entropy, hash-ordered containers.
+fn check_sim_determinism(path: &Path, lines: &[SourceLine]) -> Vec<Violation> {
+    const BANNED: [(&str, &str); 6] = [
+        ("Instant::now", "wall-clock time is nondeterministic; thread virtual time through"),
+        ("SystemTime", "system time is nondeterministic; thread virtual time through"),
+        ("thread_rng", "OS entropy breaks replay; use a seeded StdRng"),
+        ("from_entropy", "OS entropy breaks replay; use seed_from_u64"),
+        ("HashMap", "iteration order is nondeterministic; use BTreeMap"),
+        ("HashSet", "iteration order is nondeterministic; use BTreeSet"),
+    ];
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (needle, why) in BANNED {
+            if line.code.contains(needle) {
+                out.push(Violation {
+                    check: Check::SimDeterminism,
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    message: format!("`{needle}`: {why}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// lock-discipline: a `MutexGuard` binding must not stay live across a
+/// channel `send(`/`recv(` or a thread `join()`.
+fn check_lock_discipline(path: &Path, lines: &[SourceLine]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Active guards: (name, minimum depth the guard's scope keeps).
+    let mut guards: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+
+        // Blocking ops while any guard is live (checked before this line's
+        // own binding registers: a binding and a send on one line is also
+        // flagged below).
+        let blocking = code.contains(".send(")
+            || code.contains(".recv(")
+            || code.contains(".recv_timeout(")
+            || code.contains(".join()");
+        if blocking {
+            for (name, _) in &guards {
+                out.push(Violation {
+                    check: Check::LockDiscipline,
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    message: format!(
+                        "channel/thread blocking op while MutexGuard `{name}` is live; \
+                         drop the guard (narrow scope or `drop({name})`) before blocking"
+                    ),
+                });
+            }
+        }
+
+        // Explicit drops end a guard early.
+        guards.retain(|(name, _)| !code.contains(&format!("drop({name})")));
+
+        // New guard binding?
+        if code.contains(".lock()") {
+            if let Some(name) = lock_binding_name(code) {
+                let activation = depth + opens.saturating_sub(closes).min(1);
+                if blocking {
+                    out.push(Violation {
+                        check: Check::LockDiscipline,
+                        path: path.to_path_buf(),
+                        line: idx + 1,
+                        message: format!(
+                            "MutexGuard `{name}` acquired on a line that also blocks on a \
+                             channel/thread op"
+                        ),
+                    });
+                }
+                guards.push((name, activation.max(depth)));
+            }
+        }
+
+        depth = (depth + opens).saturating_sub(closes);
+        guards.retain(|(_, d)| depth >= *d);
+    }
+    out
+}
+
+/// Extract the binding name from `let g = ...lock()...` or
+/// `if/while let Ok(g) = ...lock()...`.
+fn lock_binding_name(code: &str) -> Option<String> {
+    let let_pos = code.find("let ")?;
+    let after = &code[let_pos + 4..];
+    let after = after.trim_start();
+    let after = after.strip_prefix("Ok(").unwrap_or(after);
+    let after = after.trim_start().strip_prefix("mut ").unwrap_or(after).trim_start();
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    // The binding must precede the `.lock()` call on the line.
+    if name.is_empty() || code.find(".lock()") < Some(let_pos) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace-level driving.
+// ---------------------------------------------------------------------------
+
+/// Which checks apply to a workspace-relative `.rs` path.
+fn checks_for(rel: &Path) -> Vec<Check> {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    let mut checks = Vec::new();
+    // Unit boundaries: the scheduler/KV files that carry quantities.
+    const UNIT_FILES: [&str; 7] = [
+        "crates/core/src/throttle.rs",
+        "crates/core/src/plan.rs",
+        "crates/core/src/policy.rs",
+        "crates/core/src/pool.rs",
+        "crates/kvcache/src/allocator.rs",
+        "crates/kvcache/src/page_table.rs",
+        "crates/kvcache/src/manager.rs",
+    ];
+    if UNIT_FILES.iter().any(|f| p.ends_with(f)) {
+        checks.push(Check::UnitConfusion);
+    }
+    if p.contains("crates/runtime/src/") || p.contains("crates/core/src/") {
+        checks.push(Check::PanicFreedom);
+    }
+    if p.contains("crates/sim/src/")
+        || p.contains("crates/core/src/")
+        || p.contains("crates/metrics/src/")
+    {
+        checks.push(Check::SimDeterminism);
+    }
+    if p.contains("crates/runtime/src/") {
+        checks.push(Check::LockDiscipline);
+    }
+    checks
+}
+
+/// Run `checks` against one Rust source text. Suppressions are honoured;
+/// malformed suppressions are appended as violations of the named (or
+/// first) check.
+pub fn lint_rust_source(path: &Path, contents: &str, checks: &[Check]) -> Vec<Violation> {
+    let lines = preprocess(contents);
+    let allows = collect_allows(&lines);
+    let mut violations = Vec::new();
+    for &check in checks {
+        let found = match check {
+            Check::UnitConfusion => check_unit_confusion(path, &lines),
+            Check::PanicFreedom => check_panic_freedom(path, &lines),
+            Check::SimDeterminism => check_sim_determinism(path, &lines),
+            Check::LockDiscipline => check_lock_discipline(path, &lines),
+            Check::VendorHygiene => Vec::new(),
+        };
+        for v in found {
+            if allows.allowed.contains_key(&(v.line, check)) {
+                continue;
+            }
+            violations.push(v);
+        }
+    }
+    for (line, message) in &allows.errors {
+        violations.push(Violation {
+            check: Check::PanicFreedom, // reported under a fixed family so counts are stable
+            path: path.to_path_buf(),
+            line: *line,
+            message: message.clone(),
+        });
+    }
+    violations.sort_by(|a, b| (a.line, a.check).cmp(&(b.line, b.check)));
+    violations
+}
+
+/// vendor-hygiene over a workspace root: every `path = "vendor/..."`
+/// dependency in the root manifest must exist as a shim crate and be
+/// documented in `vendor/README.md`.
+pub fn check_vendor_hygiene(root: &Path) -> Vec<Violation> {
+    let manifest_path = root.join("Cargo.toml");
+    let mut out = Vec::new();
+    let Ok(manifest) = fs::read_to_string(&manifest_path) else {
+        out.push(Violation {
+            check: Check::VendorHygiene,
+            path: PathBuf::from("Cargo.toml"),
+            line: 0,
+            message: "workspace root Cargo.toml not readable".to_string(),
+        });
+        return out;
+    };
+    let readme = fs::read_to_string(root.join("vendor/README.md")).unwrap_or_default();
+    for (idx, line) in manifest.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        let Some((name, rest)) = trimmed.split_once('=') else { continue };
+        let name = name.trim();
+        let Some(path_pos) = rest.find("path = \"vendor/") else { continue };
+        let vendor_path: String = rest[path_pos + "path = \"".len()..]
+            .chars()
+            .take_while(|c| *c != '"')
+            .collect();
+        let shim = root.join(&vendor_path);
+        if !shim.join("Cargo.toml").is_file() || !shim.join("src").is_dir() {
+            out.push(Violation {
+                check: Check::VendorHygiene,
+                path: PathBuf::from("Cargo.toml"),
+                line: idx + 1,
+                message: format!(
+                    "dependency `{name}` points at `{vendor_path}` but no shim crate \
+                     (Cargo.toml + src/) exists there"
+                ),
+            });
+        }
+        if readme.is_empty() {
+            out.push(Violation {
+                check: Check::VendorHygiene,
+                path: PathBuf::from("vendor/README.md"),
+                line: 0,
+                message: "vendor/README.md missing: every shim must be documented".to_string(),
+            });
+        } else if !readme.contains(&format!("`{name}`")) {
+            out.push(Violation {
+                check: Check::VendorHygiene,
+                path: PathBuf::from("vendor/README.md"),
+                line: 0,
+                message: format!("vendored dependency `{name}` has no vendor/README.md entry"),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively collect workspace `.rs` files eligible for linting.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // Build output, vendored shims and the lint fixtures (which
+            // contain violations on purpose) are out of scope.
+            if name == "target" || name == "vendor" || name == "fixtures" {
+                continue;
+            }
+            collect_rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint the workspace rooted at `root`: all five families, scoped per
+/// [`checks_for`], plus vendor hygiene. Paths in the result are relative to
+/// `root`.
+pub fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    collect_rust_files(&root.join("crates"), &mut files);
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let checks = checks_for(&rel);
+        if checks.is_empty() {
+            continue;
+        }
+        let Ok(contents) = fs::read_to_string(&file) else { continue };
+        violations.extend(lint_rust_source(&rel, &contents, &checks));
+    }
+    violations.extend(check_vendor_hygiene(root));
+    violations.sort_by(|a, b| (&a.path, a.line, a.check).cmp(&(&b.path, b.line, b.check)));
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str, checks: &[Check]) -> Vec<Violation> {
+        lint_rust_source(Path::new("test.rs"), src, checks)
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r#"
+fn f() {
+    let s = "HashMap and .unwrap() inside a string";
+    // HashMap in a comment
+    /* Instant::now in a block comment */
+}
+"#;
+        assert!(lint(src, &[Check::SimDeterminism, Check::PanicFreedom]).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = r#"
+fn hot() -> usize { 1 }
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert_eq!(m.get(&0).copied().unwrap_or(0), 0);
+        Some(1).unwrap();
+    }
+}
+"#;
+        assert!(lint(src, &[Check::SimDeterminism, Check::PanicFreedom]).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line_only() {
+        let src = "fn f() {\n    a.expect(\"x\"); // lint:allow(panic-freedom): invariant documented\n    b.expect(\"y\");\n}\n";
+        let v = lint(src, &[Check::PanicFreedom]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "fn f() {\n    // lint:allow(panic-freedom): checked above\n    a.expect(\"x\");\n}\n";
+        assert!(lint(src, &[Check::PanicFreedom]).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "fn f() {\n    a.expect(\"x\"); // lint:allow(panic-freedom)\n}\n";
+        let v = lint(src, &[Check::PanicFreedom]);
+        // The expect still fires AND the bare allow is flagged.
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|v| v.message.contains("requires a reason")));
+    }
+
+    #[test]
+    fn allow_with_unknown_check_is_a_violation() {
+        let src = "fn f() { // lint:allow(made-up-check): because\n}\n";
+        let v = lint(src, &[Check::PanicFreedom]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("unknown check"));
+    }
+
+    #[test]
+    fn literal_index_is_flagged_but_variable_index_is_not() {
+        let src = "fn f(xs: &[u32], i: usize) {\n    let a = xs[0];\n    let b = xs[i];\n    let c = [0u8; 4];\n}\n";
+        let v = lint(src, &[Check::PanicFreedom]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unit_confusion_flags_hinted_raw_params_and_returns() {
+        let src = "pub fn append(seq: u64, tokens: usize) {}\npub fn block_size(&self) -> usize { 0 }\npub fn num_seqs(&self) -> usize { 0 }\n";
+        let v = lint(src, &[Check::UnitConfusion]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn unit_confusion_ignores_newtyped_and_crate_private_fns() {
+        let src = "pub fn append(seq: u64, tokens: Tokens) {}\npub(crate) fn fill(&mut self, tokens: usize) {}\n";
+        assert!(lint(src, &[Check::UnitConfusion]).is_empty());
+    }
+
+    #[test]
+    fn lock_across_send_is_flagged_and_drop_clears_it() {
+        let bad = "fn f() {\n    let g = m.lock().unwrap();\n    tx.send(*g).unwrap();\n}\n";
+        let v: Vec<_> = lint(bad, &[Check::LockDiscipline]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+
+        let good = "fn f() {\n    let g = m.lock().unwrap();\n    let v = *g;\n    drop(g);\n    tx.send(v).unwrap();\n}\n";
+        assert!(lint(good, &[Check::LockDiscipline]).is_empty());
+
+        let scoped = "fn f() {\n    {\n        let g = m.lock().unwrap();\n    }\n    tx.send(1).unwrap();\n}\n";
+        assert!(lint(scoped, &[Check::LockDiscipline]).is_empty());
+    }
+
+    #[test]
+    fn check_names_round_trip() {
+        for c in Check::ALL {
+            assert_eq!(Check::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Check::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! `gllm-lint` CLI: run the workspace static-analysis pass.
+//!
+//! Usage: `cargo run -p gllm-lint -- [--root PATH] [--deny] [--list-checks]`
+//!
+//! * `--root PATH`    workspace root (default: current directory)
+//! * `--deny`         exit nonzero when any violation is found (CI mode)
+//! * `--list-checks`  print the check families and exit
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gllm_lint::{lint_workspace, Check};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-checks" => {
+                for c in Check::ALL {
+                    println!("{:<16} {}", c.name(), c.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("gllm-lint [--root PATH] [--deny] [--list-checks]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let violations = lint_workspace(&root);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("gllm-lint: clean ({} checks)", Check::ALL.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("gllm-lint: {} violation(s)", violations.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

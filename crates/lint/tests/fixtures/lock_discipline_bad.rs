@@ -1,0 +1,15 @@
+//! Fixture: lock-discipline. Expected violations: 2.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub fn relay(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = tx.send(*g); // violation: guard `g` live across send
+}
+
+pub fn wait(m: &Mutex<u32>, h: JoinHandle<()>) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = (*g, h.join()); // violation: guard `g` live across join
+}

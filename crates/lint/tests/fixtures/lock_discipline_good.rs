@@ -1,0 +1,19 @@
+//! Fixture: lock-discipline clean. Expected violations: 0.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn relay_scoped(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g
+    };
+    let _ = tx.send(v);
+}
+
+pub fn relay_dropped(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let v = *g;
+    drop(g);
+    let _ = tx.send(v);
+}

@@ -1,0 +1,14 @@
+//! Fixture: panic-freedom. Expected violations: 4.
+
+pub fn hot(xs: &[u32]) -> u32 {
+    let a = xs.first().unwrap(); // violation: unwrap()
+    let b = maybe().expect("present"); // violation: expect()
+    if xs.is_empty() {
+        panic!("empty"); // violation: panic!
+    }
+    a + b + xs[0] // violation: literal index
+}
+
+fn maybe() -> Option<u32> {
+    Some(1)
+}

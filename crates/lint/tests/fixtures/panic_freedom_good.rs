@@ -1,0 +1,22 @@
+//! Fixture: panic-freedom clean. Expected violations: 0.
+
+pub fn hot(xs: &[u32]) -> Option<u32> {
+    // asserts are allowed: they document invariants
+    assert!(xs.len() < 1_000_000, "bounded batch");
+    let a = xs.first()?;
+    let b = xs.get(1).copied().unwrap_or(0);
+    Some(a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let xs = [1u32, 2];
+        assert_eq!(xs[0], 1);
+        Some(1).unwrap();
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}

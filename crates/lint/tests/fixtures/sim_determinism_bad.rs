@@ -1,0 +1,10 @@
+//! Fixture: sim-determinism. Expected violations: 4.
+
+use std::collections::HashMap; // violation: HashMap
+
+pub fn step() -> u128 {
+    let t = std::time::Instant::now(); // violation: Instant::now
+    let mut m: HashMap<u64, u64> = HashMap::new(); // violation: HashMap (once per line)
+    m.insert(0, rand::thread_rng().gen()); // violation: thread_rng
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,14 @@
+//! Fixture: sim-determinism clean. Expected violations: 0.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn step(seed: u64) -> BTreeMap<u64, u64> {
+    // virtual time and a seeded RNG: replays bit-identically
+    let _rng = StdRng::seed_from_u64(seed);
+    let mut m = BTreeMap::new();
+    m.insert(0, seed);
+    m
+}

@@ -1,0 +1,9 @@
+//! Fixture: suppression semantics. Expected violations: 3.
+
+pub fn f(a: Option<u32>, b: Option<u32>, c: Option<u32>) -> u32 {
+    let x = a.expect("non-empty"); // lint:allow(panic-freedom): fixture — trailing allow with reason
+    // lint:allow(panic-freedom): fixture — standalone allow covers the next code line
+    let y = b.expect("non-empty");
+    let z = c.expect("flagged"); // lint:allow(panic-freedom)
+    x + y + z // lint:allow(made-up): reason present but check unknown
+}

@@ -1,0 +1,21 @@
+//! Fixture: unit-confusion. Expected violations: 4.
+//! (never compiled — consumed as text by lint_tests.rs)
+
+pub struct Cache;
+
+impl Cache {
+    // param `tokens: usize` -> violation
+    pub fn append(&mut self, seq: u64, tokens: usize) {
+        let _ = (seq, tokens);
+    }
+
+    // unit-named accessor returning a raw int -> violation
+    pub fn block_size(&self) -> usize {
+        16
+    }
+}
+
+// both hinted params raw -> 2 violations
+pub fn reserve(num_blocks: usize, kv_free_tokens: u64) -> bool {
+    num_blocks > 0 && kv_free_tokens > 0
+}

@@ -1,0 +1,30 @@
+//! Fixture: unit-confusion clean. Expected violations: 0.
+
+use gllm_units::{Blocks, Tokens};
+
+pub struct Cache;
+
+impl Cache {
+    // quantities cross the public boundary as newtypes
+    pub fn append(&mut self, seq: u64, tokens: Tokens) {
+        let _ = (seq, tokens);
+    }
+
+    pub fn block_size(&self) -> Tokens {
+        Tokens(16)
+    }
+
+    // crate-private fns may use raw ints internally
+    pub(crate) fn fill(&mut self, tokens: usize) {
+        let _ = tokens;
+    }
+
+    // not unit-named: a raw count of sequences is fine
+    pub fn num_seqs(&self) -> usize {
+        0
+    }
+
+    pub fn free_blocks(&self) -> Blocks {
+        Blocks(0)
+    }
+}

@@ -1,0 +1,1 @@
+//! Fixture shim crate (never compiled).

@@ -1,0 +1,111 @@
+//! Fixture tests for the gllm-lint check families, plus the tier-1 gate:
+//! the workspace itself must be lint-clean.
+//!
+//! Each known-bad fixture asserts an *exact* violation count so a silently
+//! weakened check fails loudly; each known-good fixture asserts zero.
+
+use std::path::{Path, PathBuf};
+
+use gllm_lint::{check_vendor_hygiene, lint_rust_source, lint_workspace, Check, Violation};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixture(name: &str, checks: &[Check]) -> Vec<Violation> {
+    let contents = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture exists");
+    lint_rust_source(Path::new(name), &contents, checks)
+}
+
+#[test]
+fn unit_confusion_fixtures() {
+    let bad = lint_fixture("unit_confusion_bad.rs", &[Check::UnitConfusion]);
+    assert_eq!(bad.len(), 4, "{bad:#?}");
+    assert!(bad.iter().all(|v| v.check == Check::UnitConfusion));
+    // One return-type finding, three raw-param findings.
+    assert_eq!(bad.iter().filter(|v| v.message.contains("returns a raw integer")).count(), 1);
+    assert_eq!(bad.iter().filter(|v| v.message.contains("as a raw integer")).count(), 3);
+
+    let good = lint_fixture("unit_confusion_good.rs", &[Check::UnitConfusion]);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn panic_freedom_fixtures() {
+    let bad = lint_fixture("panic_freedom_bad.rs", &[Check::PanicFreedom]);
+    assert_eq!(bad.len(), 4, "{bad:#?}");
+    for label in ["unwrap()", "expect()", "panic!", "literal index"] {
+        assert!(
+            bad.iter().any(|v| v.message.contains(label)),
+            "missing `{label}` finding in {bad:#?}"
+        );
+    }
+
+    let good = lint_fixture("panic_freedom_good.rs", &[Check::PanicFreedom]);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn sim_determinism_fixtures() {
+    let bad = lint_fixture("sim_determinism_bad.rs", &[Check::SimDeterminism]);
+    assert_eq!(bad.len(), 4, "{bad:#?}");
+    for needle in ["Instant::now", "HashMap", "thread_rng"] {
+        assert!(
+            bad.iter().any(|v| v.message.contains(needle)),
+            "missing `{needle}` finding in {bad:#?}"
+        );
+    }
+
+    let good = lint_fixture("sim_determinism_good.rs", &[Check::SimDeterminism]);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn lock_discipline_fixtures() {
+    let bad = lint_fixture("lock_discipline_bad.rs", &[Check::LockDiscipline]);
+    assert_eq!(bad.len(), 2, "{bad:#?}");
+    assert!(bad.iter().all(|v| v.message.contains("MutexGuard `g` is live")));
+
+    let good = lint_fixture("lock_discipline_good.rs", &[Check::LockDiscipline]);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn suppression_semantics() {
+    let v = lint_fixture("suppression.rs", &[Check::PanicFreedom]);
+    // Two expects are allowed (trailing + standalone form). The reasonless
+    // allow suppresses nothing AND is flagged; the unknown check is flagged.
+    assert_eq!(v.len(), 3, "{v:#?}");
+    assert_eq!(v.iter().filter(|v| v.message.contains("expect()")).count(), 1);
+    assert_eq!(v.iter().filter(|v| v.message.contains("requires a reason")).count(), 1);
+    assert_eq!(v.iter().filter(|v| v.message.contains("unknown check")).count(), 1);
+}
+
+#[test]
+fn vendor_hygiene_fixtures() {
+    let good = check_vendor_hygiene(&fixture_dir().join("vendor_good"));
+    assert!(good.is_empty(), "{good:#?}");
+
+    let bad = check_vendor_hygiene(&fixture_dir().join("vendor_bad"));
+    assert_eq!(bad.len(), 2, "{bad:#?}");
+    assert!(bad.iter().any(|v| v.message.contains("no shim crate")));
+    assert!(bad.iter().any(|v| v.message.contains("no vendor/README.md entry")));
+}
+
+/// Tier-1 gate: the workspace this crate lives in must be lint-clean. This
+/// is what keeps the five static invariants enforced going forward — any
+/// new violation (or reasonless suppression) fails `cargo test`.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let violations = lint_workspace(&root);
+    assert!(
+        violations.is_empty(),
+        "gllm-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(|v| format!("  {v}\n")).collect::<String>()
+    );
+}

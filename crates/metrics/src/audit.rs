@@ -26,26 +26,23 @@
 //! The auditor is cheap — a hash map of live contexts and O(plan) work
 //! per batch — so both planes keep it on in every test.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
-use gllm_core::BatchPlan;
+use gllm_core::{BatchPlan, Blocks, Tokens};
 use serde::Serialize;
 
-/// Blocks a sequence at `context` tokens must acquire to append `tokens`
-/// more, given that it already holds exactly `ceil(context / block_size)`
-/// blocks (the page-table invariant of the KV manager).
-pub fn blocks_to_append(context: usize, tokens: usize, block_size: usize) -> usize {
-    let bs = block_size.max(1);
-    (context + tokens).div_ceil(bs) - context.div_ceil(bs)
-}
+// Shared with the scheduler: blocks a sequence at `context` tokens must
+// acquire to append `tokens` more (the page-table invariant of the KV
+// manager). Re-exported so existing auditor callers keep compiling.
+pub use gllm_core::blocks_to_append;
 
 /// Occupancy observed from the KV cache manager at a transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct KvObservation {
     /// Free physical blocks.
-    pub free_blocks: usize,
+    pub free_blocks: Blocks,
     /// Blocks with at least one owner.
-    pub used_blocks: usize,
+    pub used_blocks: Blocks,
 }
 
 /// Budget caps a policy declared for one scheduling decision (see
@@ -53,7 +50,7 @@ pub struct KvObservation {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct PlanCaps {
     /// Maximum batched prefill tokens.
-    pub prefill_tokens: usize,
+    pub prefill_tokens: Tokens,
     /// Maximum decode sequences.
     pub decode_seqs: usize,
 }
@@ -101,9 +98,9 @@ pub struct AuditSnapshot {
     /// Sequences currently holding KV.
     pub live_kv_seqs: usize,
     /// Blocks the shadow accounting says are allocated.
-    pub shadow_used_blocks: usize,
+    pub shadow_used_blocks: Blocks,
     /// Total physical blocks.
-    pub total_blocks: usize,
+    pub total_blocks: Blocks,
     /// Violations recorded so far.
     pub violations: usize,
 }
@@ -143,23 +140,24 @@ impl AuditReport {
 /// Shadow scheduler state cross-checked on every transition.
 #[derive(Debug, Clone)]
 pub struct InvariantAuditor {
-    block_size: usize,
-    total_blocks: usize,
+    block_size: Tokens,
+    total_blocks: Blocks,
     depth: usize,
 
     in_flight: usize,
     batches_checked: u64,
     last_t: f64,
 
-    /// Arrival index per request id, in submission order.
-    arrival_idx: HashMap<u64, usize>,
+    /// Arrival index per request id, in submission order. Ordered maps
+    /// keep violation details deterministic across runs (sim-determinism).
+    arrival_idx: BTreeMap<u64, usize>,
     next_arrival: usize,
     /// Requests that have received their first prefill chunk.
-    started: HashSet<u64>,
+    started: BTreeSet<u64>,
     /// Requests that finished or were rejected (exempt from FCFS checks).
-    gone: HashSet<u64>,
+    gone: BTreeSet<u64>,
     /// Committed KV tokens per sequence currently holding cache.
-    ctx: HashMap<u64, usize>,
+    ctx: BTreeMap<u64, Tokens>,
 
     violations: Vec<Violation>,
 }
@@ -167,19 +165,19 @@ pub struct InvariantAuditor {
 impl InvariantAuditor {
     /// An auditor over `total_blocks` KV blocks of `block_size` tokens on
     /// a pipeline of `depth` stages.
-    pub fn new(total_blocks: usize, block_size: usize, depth: usize) -> Self {
+    pub fn new(total_blocks: Blocks, block_size: Tokens, depth: usize) -> Self {
         Self {
-            block_size: block_size.max(1),
+            block_size: block_size.max(Tokens(1)),
             total_blocks,
             depth: depth.max(1),
             in_flight: 0,
             batches_checked: 0,
             last_t: 0.0,
-            arrival_idx: HashMap::new(),
+            arrival_idx: BTreeMap::new(),
             next_arrival: 0,
-            started: HashSet::new(),
-            gone: HashSet::new(),
-            ctx: HashMap::new(),
+            started: BTreeSet::new(),
+            gone: BTreeSet::new(),
+            ctx: BTreeMap::new(),
             violations: Vec::new(),
         }
     }
@@ -239,7 +237,7 @@ impl InvariantAuditor {
         // (1) Apply the committed plan to the shadow allocations, then the
         // manager must agree block-for-block.
         for c in &committed.prefill {
-            let cur = self.ctx.get(&c.seq).copied().unwrap_or(0);
+            let cur = self.ctx.get(&c.seq).copied().unwrap_or(Tokens::ZERO);
             if cur != c.context_before {
                 self.violate(
                     t_s,
@@ -252,7 +250,7 @@ impl InvariantAuditor {
             self.started.insert(c.seq);
         }
         for d in &committed.decode {
-            let cur = self.ctx.get(&d.seq).copied().unwrap_or(0);
+            let cur = self.ctx.get(&d.seq).copied().unwrap_or(Tokens::ZERO);
             if cur != d.context_before {
                 self.violate(
                     t_s,
@@ -261,7 +259,7 @@ impl InvariantAuditor {
                     format!("seq {} decode slot claims context {} but shadow holds {}", d.seq, d.context_before, cur),
                 );
             }
-            self.ctx.insert(d.seq, cur + 1);
+            self.ctx.insert(d.seq, cur + Tokens(1));
         }
         self.check_kv(t_s, Some(batch), after);
     }
@@ -303,10 +301,10 @@ impl InvariantAuditor {
         let mut left = before.free_blocks;
         let mut decode_exhausted = false;
         for d in &proposed.decode {
-            let need = blocks_to_append(d.context_before, 1, bs);
+            let need = blocks_to_append(d.context_before, Tokens(1), bs);
             if need > left {
                 decode_exhausted = true;
-                left = 0;
+                left = Blocks::ZERO;
             } else {
                 left -= need;
             }
@@ -318,7 +316,7 @@ impl InvariantAuditor {
             // nothing, so they stay legal.
             for c in &proposed.prefill {
                 let need = blocks_to_append(c.context_before, c.tokens, bs);
-                if need > 0 {
+                if !need.is_zero() {
                     self.violate(
                         t_s,
                         Some(batch),
@@ -453,7 +451,7 @@ impl InvariantAuditor {
     /// (1) Shadow allocations vs. observed occupancy, block-granular.
     fn check_kv(&mut self, t_s: f64, batch: Option<u64>, obs: KvObservation) {
         let bs = self.block_size;
-        let shadow_used: usize = self.ctx.values().map(|&c| c.div_ceil(bs)).sum();
+        let shadow_used: Blocks = self.ctx.values().map(|&c| c.to_blocks(bs)).sum();
         if shadow_used != obs.used_blocks || self.total_blocks - shadow_used != obs.free_blocks {
             self.violate(
                 t_s,
@@ -490,7 +488,7 @@ impl InvariantAuditor {
             in_flight: self.in_flight,
             depth: self.depth,
             live_kv_seqs: self.ctx.len(),
-            shadow_used_blocks: self.ctx.values().map(|&c| c.div_ceil(bs)).sum(),
+            shadow_used_blocks: self.ctx.values().map(|&c| c.to_blocks(bs)).sum(),
             total_blocks: self.total_blocks,
             violations: self.violations.len(),
         }
@@ -537,31 +535,41 @@ mod tests {
     use gllm_core::{BatchPlan, DecodeSlot, PrefillChunk};
 
     fn chunk(seq: u64, tokens: usize, context_before: usize, completes: bool) -> PrefillChunk {
-        PrefillChunk { seq, tokens, context_before, completes_prompt: completes }
+        PrefillChunk {
+            seq,
+            tokens: Tokens(tokens),
+            context_before: Tokens(context_before),
+            completes_prompt: completes,
+        }
     }
 
     fn slot(seq: u64, context_before: usize) -> DecodeSlot {
-        DecodeSlot { seq, context_before }
+        DecodeSlot { seq, context_before: Tokens(context_before) }
     }
 
     fn obs(free: usize, used: usize) -> KvObservation {
-        KvObservation { free_blocks: free, used_blocks: used }
+        KvObservation { free_blocks: Blocks(free), used_blocks: Blocks(used) }
+    }
+
+    fn auditor(total_blocks: usize, block_size: usize, depth: usize) -> InvariantAuditor {
+        InvariantAuditor::new(Blocks(total_blocks), Tokens(block_size), depth)
     }
 
     #[test]
     fn blocks_to_append_rounds_like_the_page_table() {
-        assert_eq!(blocks_to_append(0, 1, 16), 1);
-        assert_eq!(blocks_to_append(0, 16, 16), 1);
-        assert_eq!(blocks_to_append(0, 17, 16), 2);
-        assert_eq!(blocks_to_append(15, 1, 16), 0);
-        assert_eq!(blocks_to_append(16, 1, 16), 1);
-        assert_eq!(blocks_to_append(20, 12, 16), 0);
-        assert_eq!(blocks_to_append(20, 13, 16), 1);
+        let bs = Tokens(16);
+        assert_eq!(blocks_to_append(Tokens(0), Tokens(1), bs), Blocks(1));
+        assert_eq!(blocks_to_append(Tokens(0), Tokens(16), bs), Blocks(1));
+        assert_eq!(blocks_to_append(Tokens(0), Tokens(17), bs), Blocks(2));
+        assert_eq!(blocks_to_append(Tokens(15), Tokens(1), bs), Blocks(0));
+        assert_eq!(blocks_to_append(Tokens(16), Tokens(1), bs), Blocks(1));
+        assert_eq!(blocks_to_append(Tokens(20), Tokens(12), bs), Blocks(0));
+        assert_eq!(blocks_to_append(Tokens(20), Tokens(13), bs), Blocks(1));
     }
 
     #[test]
     fn clean_schedule_and_complete_pass() {
-        let mut a = InvariantAuditor::new(8, 16, 2);
+        let mut a = auditor(8, 16, 2);
         a.on_arrival(1);
         let plan = BatchPlan { prefill: vec![chunk(1, 20, 0, true)], decode: vec![] };
         a.on_schedule(0.0, 0, &plan, &plan, None, obs(8, 0), obs(6, 2));
@@ -578,7 +586,7 @@ mod tests {
         // The pre-fix TokenThrottle bug: 4 decodes at full blocks need 4
         // new blocks, but the policy reserved 4 *tokens* and carved a
         // 63-token prefill into 5 free blocks.
-        let mut a = InvariantAuditor::new(24, 16, 4);
+        let mut a = auditor(24, 16, 4);
         for s in 0..5 {
             a.on_arrival(s);
         }
@@ -594,7 +602,7 @@ mod tests {
         };
         for s in 0..4 {
             // Shadow contexts: 4 decodes already hold 64 tokens each.
-            a.ctx.insert(s, 64);
+            a.ctx.insert(s, Tokens(64));
             a.started.insert(s);
         }
         a.on_schedule(1.0, 0, &proposed, &committed, None, obs(5, 19), obs(0, 24));
@@ -607,7 +615,7 @@ mod tests {
 
     #[test]
     fn depth_overflow_is_reported() {
-        let mut a = InvariantAuditor::new(64, 16, 1);
+        let mut a = auditor(64, 16, 1);
         a.on_arrival(1);
         a.on_arrival(2);
         let p1 = BatchPlan { prefill: vec![chunk(1, 8, 0, true)], decode: vec![] };
@@ -619,7 +627,7 @@ mod tests {
 
     #[test]
     fn budget_conformance_catches_over_budget_and_grown_plans() {
-        let mut a = InvariantAuditor::new(64, 16, 4);
+        let mut a = auditor(64, 16, 4);
         a.on_arrival(1);
         let proposed = BatchPlan { prefill: vec![chunk(1, 100, 0, false)], decode: vec![] };
         let committed = proposed.clone();
@@ -628,13 +636,13 @@ mod tests {
             0,
             &proposed,
             &committed,
-            Some(PlanCaps { prefill_tokens: 50, decode_seqs: 0 }),
+            Some(PlanCaps { prefill_tokens: Tokens(50), decode_seqs: 0 }),
             obs(64, 0),
             obs(57, 7),
         );
         assert!(a.violations().iter().any(|v| v.invariant == Invariant::BudgetConformance));
 
-        let mut b = InvariantAuditor::new(64, 16, 4);
+        let mut b = auditor(64, 16, 4);
         b.on_arrival(1);
         let grown = BatchPlan { prefill: vec![chunk(1, 120, 0, false)], decode: vec![] };
         b.on_schedule(0.0, 0, &proposed, &grown, None, obs(64, 0), obs(56, 8));
@@ -643,7 +651,7 @@ mod tests {
 
     #[test]
     fn fcfs_inversion_is_reported() {
-        let mut a = InvariantAuditor::new(64, 16, 4);
+        let mut a = auditor(64, 16, 4);
         a.on_arrival(1); // earlier arrival, never started
         a.on_arrival(2);
         let plan = BatchPlan { prefill: vec![chunk(2, 8, 0, true)], decode: vec![] };
@@ -653,7 +661,7 @@ mod tests {
 
     #[test]
     fn fcfs_allows_restart_after_preemption_and_aborted_heads() {
-        let mut a = InvariantAuditor::new(64, 16, 4);
+        let mut a = auditor(64, 16, 4);
         a.on_arrival(1);
         a.on_arrival(2);
         a.on_arrival(3);
@@ -670,7 +678,7 @@ mod tests {
 
     #[test]
     fn kv_mismatch_is_reported() {
-        let mut a = InvariantAuditor::new(8, 16, 2);
+        let mut a = auditor(8, 16, 2);
         a.on_arrival(1);
         let plan = BatchPlan { prefill: vec![chunk(1, 20, 0, true)], decode: vec![] };
         // 20 tokens = 2 blocks, but the "manager" claims only 1 is used.
@@ -680,7 +688,7 @@ mod tests {
 
     #[test]
     fn drained_run_with_leftover_kv_is_a_leak() {
-        let mut a = InvariantAuditor::new(8, 16, 2);
+        let mut a = auditor(8, 16, 2);
         a.on_arrival(1);
         let plan = BatchPlan { prefill: vec![chunk(1, 20, 0, true)], decode: vec![] };
         a.on_schedule(0.0, 0, &plan, &plan, None, obs(8, 0), obs(6, 2));

@@ -1,6 +1,6 @@
 //! Per-request timeline collection.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -48,7 +48,9 @@ impl RequestTimeline {
 /// Collects [`RequestTimeline`]s as the serving system reports events.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRecorder {
-    timelines: HashMap<u64, RequestTimeline>,
+    // Ordered so every iteration (reduction, serialization) is
+    // deterministic without sorting at each call site (sim-determinism).
+    timelines: BTreeMap<u64, RequestTimeline>,
 }
 
 impl MetricsRecorder {
@@ -102,9 +104,7 @@ impl MetricsRecorder {
 
     /// All timelines, sorted by request id (deterministic reduction order).
     pub fn timelines(&self) -> Vec<(u64, RequestTimeline)> {
-        let mut v: Vec<_> = self.timelines.iter().map(|(&k, &tl)| (k, tl)).collect();
-        v.sort_unstable_by_key(|(k, _)| *k);
-        v
+        self.timelines.iter().map(|(&k, &tl)| (k, tl)).collect()
     }
 
     /// Number of requests that finished.

@@ -171,7 +171,7 @@ mod tests {
         let mut volatile = TokenTrace::new();
         let mut smooth = TokenTrace::new();
         for i in 0..20 {
-            volatile.record(if i.is_multiple_of(2) { 2048 } else { 0 }, 10);
+            volatile.record(if i % 2 == 0 { 2048 } else { 0 }, 10);
             smooth.record(1024, 10);
         }
         assert!(volatile.total_tokens_cv() > smooth.total_tokens_cv() + 0.5);

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use gllm_core::{admit, BatchPlan, RequestPool, SchedulePolicy};
-use gllm_kvcache::KvCacheManager;
+use gllm_kvcache::{KvCacheManager, Tokens};
 use gllm_metrics::{
     AuditReport, AuditSnapshot, InvariantAuditor, KvObservation, MetricsRecorder, PipelineTrace,
     PlanCaps,
@@ -44,6 +44,14 @@ pub struct DriverOutput {
     pub audit: Option<AuditReport>,
     /// Structured per-batch pipeline events (empty unless recording was on).
     pub trace: PipelineTrace,
+}
+
+impl DriverOutput {
+    /// An output with nothing recorded — what a caller gets when the driver
+    /// thread died instead of draining.
+    pub fn empty() -> Self {
+        Self { recorder: MetricsRecorder::new(), audit: None, trace: PipelineTrace::new(false) }
+    }
 }
 
 /// The driver loop. Returns the metrics, audit and trace at shutdown.
@@ -118,7 +126,7 @@ pub fn run_driver(
         while in_flight < depth {
             let view = pool.view(
                 kvm.free_rate(),
-                kvm.free_blocks() * kvm.block_size(),
+                kvm.free_blocks().to_tokens(kvm.block_size()),
                 kvm.block_size(),
                 depth,
             );
@@ -141,7 +149,7 @@ pub fn run_driver(
                 if in_flight == 0 && pool.has_work() {
                     if let Some((victim, _)) = pool.preempt_stalled_waiting() {
                         if kvm.contains(victim) {
-                            kvm.evict(victim).expect("victim held KV");
+                            let _ = kvm.evict(victim);
                         }
                         recorder.on_preemption(victim);
                         ptrace.preempt(t0.elapsed().as_secs_f64(), victim);
@@ -159,14 +167,31 @@ pub fn run_driver(
             let now = t0.elapsed().as_secs_f64();
             if let (Some(a), Some(proposed)) = (auditor.as_mut(), proposed_copy.as_ref()) {
                 a.on_schedule(now, batch, proposed, &plan, caps, kv_before, kv_obs(&kvm));
-                *audit_state.lock().expect("audit state lock") = Some(a.snapshot());
+                if let Ok(mut shared) = audit_state.lock() {
+                    *shared = Some(a.snapshot());
+                }
             }
-            ptrace.schedule(now, batch, plan.prefill_tokens(), plan.decode_tokens(), plan.num_seqs());
+            ptrace.schedule(
+                now,
+                batch,
+                plan.prefill_tokens().get(),
+                plan.decode_tokens().get(),
+                plan.num_seqs(),
+            );
             let meta = build_meta(batch, &plan, &pool, &kvm, &seqs);
             // Preemptive metadata: every worker learns the batch layout
-            // before any activations move.
+            // before any activations move. A hung-up worker means the
+            // pipeline is tearing down — stop scheduling instead of
+            // panicking.
+            let mut worker_gone = false;
             for tx in &meta_txs {
-                tx.send(WorkerMsg::Batch(meta.clone())).expect("worker hung up");
+                if tx.send(WorkerMsg::Batch(meta.clone())).is_err() {
+                    worker_gone = true;
+                }
+            }
+            if worker_gone {
+                shutting_down = true;
+                break;
             }
             // Stage-0 execution (the driver is a worker too).
             let tables: Vec<_> = meta.tables.iter().collect();
@@ -187,7 +212,7 @@ pub fn run_driver(
                     }
                     let (seq, lg) = &logits[li];
                     li += 1;
-                    let (params, step) = meta.samples[ci].expect("sampled chunk has params");
+                    let Some((params, step)) = meta.samples[ci] else { continue };
                     tokens.push((*seq, sample(lg, &params, *seq, step)));
                 }
                 on_result(
@@ -196,11 +221,19 @@ pub fn run_driver(
                     &mut in_flight, &stream_tx, &mut auditor, &mut ptrace, &audit_state,
                 );
             } else {
-                act_tx
+                let sent = act_tx
                     .as_ref()
-                    .expect("multi-stage runtime has an activation channel")
-                    .send(Activations { batch, hidden })
-                    .expect("stage 1 hung up");
+                    .map(|tx| tx.send(Activations { batch, hidden }).is_ok())
+                    .unwrap_or(false);
+                if !sent {
+                    // Stage 1 hung up: the batch will never complete, so
+                    // un-count it before tearing down or the drain loop
+                    // would wait forever.
+                    plans.remove(&batch);
+                    in_flight -= 1;
+                    shutting_down = true;
+                    break;
+                }
             }
         }
 
@@ -243,7 +276,7 @@ fn on_submit(
     }
     if r.prompt.is_empty()
         || r.max_new == 0
-        || r.prompt.len() + r.max_new + kvm.block_size() > kvm.token_capacity()
+        || Tokens(r.prompt.len() + r.max_new) + kvm.block_size() > kvm.token_capacity()
     {
         if let Some(a) = auditor.as_mut() {
             a.on_abort(r.id);
@@ -270,19 +303,23 @@ fn on_result(
     ptrace: &mut PipelineTrace,
     audit_state: &Mutex<Option<AuditSnapshot>>,
 ) {
-    let plan = plans.remove(&res.batch).expect("result for unknown batch");
+    let Some(plan) = plans.remove(&res.batch) else {
+        // A result for a batch we never scheduled: drop it rather than
+        // panicking; the auditor's completion pairing will flag the gap.
+        return;
+    };
     let outcome = pool.complete(&plan);
     let now = t0.elapsed().as_secs_f64();
     let token_of: HashMap<u64, u32> = res.tokens.into_iter().collect();
     for e in &outcome.emitted {
-        let token = *token_of.get(&e.seq).expect("sampled token for emitted sequence");
+        let Some(&token) = token_of.get(&e.seq) else { continue };
         recorder.on_token(e.seq, now);
         if e.finished {
             recorder.on_finish(e.seq, now);
-            kvm.free(e.seq).expect("finished sequence had KV");
+            let _ = kvm.free(e.seq);
             seqs.remove(&e.seq);
-        } else {
-            seqs.get_mut(&e.seq).expect("live sequence").text.push(token);
+        } else if let Some(info) = seqs.get_mut(&e.seq) {
+            info.text.push(token);
         }
         let _ = stream_tx.send(StreamEvent::Token { seq: e.seq, token, finished: e.finished });
     }
@@ -290,7 +327,9 @@ fn on_result(
     ptrace.complete(now, res.batch, outcome.emitted.len(), outcome.finished.len());
     if let Some(a) = auditor.as_mut() {
         a.on_complete(now, res.batch, &outcome.finished, kv_obs(kvm));
-        *audit_state.lock().expect("audit state lock") = Some(a.snapshot());
+        if let Ok(mut shared) = audit_state.lock() {
+            *shared = Some(a.snapshot());
+        }
     }
 }
 
@@ -307,26 +346,32 @@ fn build_meta(
     let mut samples = Vec::with_capacity(plan.num_seqs());
     for c in &plan.prefill {
         let info = &seqs[&c.seq];
+        let start = c.context_before.get();
         chunks.push(BatchChunk {
             seq: c.seq,
-            start_pos: c.context_before,
-            tokens: info.text[c.context_before..c.context_before + c.tokens].to_vec(),
+            start_pos: start,
+            tokens: info.text[start..start + c.tokens.get()].to_vec(),
             sample: c.completes_prompt,
         });
+        // lint:allow(panic-freedom): commit admitted this chunk, so its KV and pool entry exist
         tables.push(kvm.table(c.seq).expect("admitted chunk has KV").clone());
         samples.push(c.completes_prompt.then(|| {
+            // lint:allow(panic-freedom): committed chunks always have a live pool entry
             (info.params, pool.seq(c.seq).expect("live").generated)
         }));
     }
     for d in &plan.decode {
         let info = &seqs[&d.seq];
+        let start = d.context_before.get();
         chunks.push(BatchChunk {
             seq: d.seq,
-            start_pos: d.context_before,
-            tokens: vec![info.text[d.context_before]],
+            start_pos: start,
+            tokens: vec![info.text[start]],
             sample: true,
         });
+        // lint:allow(panic-freedom): commit admitted this slot, so its KV and pool entry exist
         tables.push(kvm.table(d.seq).expect("admitted slot has KV").clone());
+        // lint:allow(panic-freedom): committed slots always have a live pool entry
         samples.push(Some((info.params, pool.seq(d.seq).expect("live").generated)));
     }
     BatchMeta { batch, chunks, tables, samples }

@@ -1,13 +1,13 @@
 //! The serving frontend: spawn, submit, stream, shut down.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gllm_core::SchedulePolicy;
-use gllm_kvcache::KvCacheManager;
+use gllm_kvcache::{Blocks, KvCacheManager, Tokens};
 use gllm_metrics::{AuditSnapshot, MetricsRecorder};
 use gllm_model::ModelConfig;
 use gllm_transformer::StageModel;
@@ -76,18 +76,25 @@ pub struct StallError {
     pub waited: Duration,
     /// Requests still open (submitted, neither finished nor rejected).
     pub pending: usize,
+    /// True when the driver hung up (channel closed) rather than timing
+    /// out while alive.
+    pub disconnected: bool,
     /// The auditor's state as of the last schedule/complete transition.
     pub snapshot: Option<AuditSnapshot>,
 }
 
 impl std::fmt::Display for StallError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "runtime stalled: no stream events within {:.1} s with {} request(s) pending",
-            self.waited.as_secs_f64(),
-            self.pending
-        )?;
+        if self.disconnected {
+            write!(f, "runtime disconnected: driver hung up with {} request(s) pending", self.pending)?;
+        } else {
+            write!(
+                f,
+                "runtime stalled: no stream events within {:.1} s with {} request(s) pending",
+                self.waited.as_secs_f64(),
+                self.pending
+            )?;
+        }
         match &self.snapshot {
             Some(s) => write!(
                 f,
@@ -110,13 +117,25 @@ pub struct Submitter {
 }
 
 impl Submitter {
-    /// Submit a generation request.
-    pub fn submit(&self, req: GenRequest) {
-        self.req_tx
-            .send(DriverMsg::Submit(req))
-            .expect("driver hung up");
+    /// Submit a generation request. Fails when the driver has shut down
+    /// (or died) and will never serve it.
+    pub fn submit(&self, req: GenRequest) -> Result<(), SubmitError> {
+        self.req_tx.send(DriverMsg::Submit(req)).map_err(|_| SubmitError)
     }
 }
+
+/// The driver is no longer accepting requests: the server was shut down or
+/// its thread died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitError;
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "driver disconnected: request was not submitted")
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// A running serving instance: frontend handle to the driver + workers.
 pub struct Server {
@@ -165,6 +184,7 @@ impl Server {
                 first_act_tx = Some(tx);
                 rx
             } else {
+                // lint:allow(panic-freedom): stage s > 1 implies iteration s-1 stored the receiver
                 next_act_rx.take().expect("previous stage wired")
             };
             let is_last = s + 1 == cfg.num_stages;
@@ -188,13 +208,14 @@ impl Server {
 
         let stage0 = StageModel::new(
             cfg.model.clone(),
+            // lint:allow(panic-freedom): partition_layers yields exactly num_stages ranges, num_stages >= 1
             ranges[0].clone(),
             kv_slots,
             cfg.seed,
             true,
             cfg.num_stages == 1,
         );
-        let kvm = KvCacheManager::new(cfg.kv_blocks, cfg.block_size);
+        let kvm = KvCacheManager::new(Blocks(cfg.kv_blocks), Tokens(cfg.block_size));
         let depth = cfg.num_stages;
         let max_seqs = cfg.max_seqs_per_batch;
         let cpp = cfg.cpp;
@@ -219,11 +240,10 @@ impl Server {
         }
     }
 
-    /// Submit a generation request.
-    pub fn submit(&self, req: GenRequest) {
-        self.req_tx
-            .send(DriverMsg::Submit(req))
-            .expect("driver hung up");
+    /// Submit a generation request. Fails when the driver has shut down
+    /// (or died) and will never serve it.
+    pub fn submit(&self, req: GenRequest) -> Result<(), SubmitError> {
+        self.req_tx.send(DriverMsg::Submit(req)).map_err(|_| SubmitError)
     }
 
     /// A cloneable submission handle usable from other threads (e.g. HTTP
@@ -240,7 +260,7 @@ impl Server {
     /// The auditor's state as of the last schedule/complete transition
     /// (`None` before the first batch or when auditing is off).
     pub fn audit_snapshot(&self) -> Option<AuditSnapshot> {
-        self.audit_state.lock().expect("audit state lock").clone()
+        self.audit_state.lock().ok().and_then(|g| g.clone())
     }
 
     /// Submit `reqs` and block until each finishes (or is rejected),
@@ -252,29 +272,44 @@ impl Server {
     pub fn generate_all(
         &self,
         reqs: Vec<GenRequest>,
-    ) -> Result<HashMap<u64, Vec<u32>>, StallError> {
-        let mut out: HashMap<u64, Vec<u32>> = HashMap::new();
+    ) -> Result<BTreeMap<u64, Vec<u32>>, StallError> {
+        let mut out: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
         let mut open = reqs.len();
         for r in reqs {
             out.insert(r.id, Vec::new());
-            self.submit(r);
+            if self.submit(r).is_err() {
+                return Err(StallError {
+                    waited: Duration::ZERO,
+                    pending: open,
+                    disconnected: true,
+                    snapshot: self.audit_snapshot(),
+                });
+            }
         }
         while open > 0 {
             match self.next_event(self.stall_timeout) {
                 Some(StreamEvent::Token { seq, token, finished }) => {
-                    out.get_mut(&seq).expect("event for unknown request").push(token);
-                    if finished {
-                        open -= 1;
+                    // Events for ids we never submitted (e.g. leftovers
+                    // from an earlier call on the same server) are skipped
+                    // rather than panicking.
+                    if let Some(toks) = out.get_mut(&seq) {
+                        toks.push(token);
+                        if finished {
+                            open -= 1;
+                        }
                     }
                 }
                 Some(StreamEvent::Rejected { seq }) => {
-                    out.get_mut(&seq).expect("event for unknown request").clear();
-                    open -= 1;
+                    if let Some(toks) = out.get_mut(&seq) {
+                        toks.clear();
+                        open -= 1;
+                    }
                 }
                 None => {
                     return Err(StallError {
                         waited: self.stall_timeout,
                         pending: open,
+                        disconnected: false,
                         snapshot: self.audit_snapshot(),
                     })
                 }
@@ -288,14 +323,14 @@ impl Server {
     /// *not* assert audit cleanliness — callers inspect the report.
     pub fn shutdown_full(mut self) -> DriverOutput {
         let _ = self.req_tx.send(DriverMsg::Shutdown);
-        let out = self
-            .driver
-            .take()
-            .expect("driver joined once")
-            .join()
-            .expect("driver panicked");
+        let out = match self.driver.take().map(JoinHandle::join) {
+            Some(Ok(out)) => out,
+            // A dead driver yields an empty output instead of re-raising
+            // its panic on the caller's thread.
+            Some(Err(_)) | None => DriverOutput::empty(),
+        };
         for w in self.workers.drain(..) {
-            w.join().expect("worker panicked");
+            let _ = w.join();
         }
         out
     }
@@ -396,7 +431,7 @@ mod tests {
         let reqs: Vec<GenRequest> =
             prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 6)).collect();
         // Small chunks force multi-chunk prefills.
-        let policy = || Arc::new(SarathiServe::new(16));
+        let policy = || Arc::new(SarathiServe::new(Tokens(16)));
         let classic = Server::start(RuntimeConfig::tiny(3), policy());
         let out_classic = classic.generate_all(reqs.clone()).expect("runtime stalled");
         classic.shutdown();
@@ -494,6 +529,43 @@ mod tests {
         // Shutdown still works: nothing in flight, audit clean (the
         // undrained pool skips the leak check).
         server.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_gracefully() {
+        // Regression: a detached Submitter outliving the server must get a
+        // SubmitError, not panic on a closed channel.
+        let server = Server::start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
+        let submitter = server.submitter();
+        assert!(submitter.submit(req(1, vec![1, 2, 3], 2)).is_ok(), "live driver accepts");
+        let mut open = 1;
+        while open > 0 {
+            match server.next_event(Duration::from_secs(30)).expect("runtime live") {
+                StreamEvent::Token { finished: true, .. } | StreamEvent::Rejected { .. } => {
+                    open -= 1
+                }
+                _ => {}
+            }
+        }
+        server.shutdown();
+        let err = submitter.submit(req(2, vec![1], 1)).expect_err("driver is gone");
+        assert_eq!(err, SubmitError);
+        assert!(err.to_string().contains("not submitted"));
+    }
+
+    #[test]
+    fn generate_all_reports_disconnect_instead_of_hanging() {
+        // Regression: if the driver dies while the frontend handle is still
+        // alive, generate_all must return a disconnected StallError.
+        let mut server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
+        server.req_tx.send(DriverMsg::Shutdown).expect("driver alive");
+        if let Some(h) = server.driver.take() {
+            let _ = h.join();
+        }
+        let err = server.generate_all(vec![req(9, vec![1, 2], 2)]).expect_err("driver is gone");
+        assert!(err.disconnected, "got: {err}");
+        assert_eq!(err.pending, 1);
+        assert!(err.to_string().contains("disconnected"), "got: {err}");
     }
 
     #[test]

@@ -37,14 +37,18 @@ pub fn run_worker(
         // Preparation from metadata alone (tables, chunk layout) happens
         // here, before the activations land.
         let tables: Vec<_> = meta.tables.iter().collect();
-        let acts = act_rx.recv().expect("activation stream closed mid-batch");
+        let Ok(acts) = act_rx.recv() else {
+            // Upstream stage gone: the pipeline is tearing down.
+            break;
+        };
         assert_eq!(acts.batch, meta.batch, "metadata/activation stream desynchronised");
         let mut hidden = acts.hidden;
         stage.forward(&meta.chunks, &tables, &mut hidden);
         match &output {
             StageOutput::Next(tx) => {
-                tx.send(Activations { batch: meta.batch, hidden })
-                    .expect("next stage hung up");
+                if tx.send(Activations { batch: meta.batch, hidden }).is_err() {
+                    break;
+                }
             }
             StageOutput::Result(tx) => {
                 let logits = stage.project(&meta.chunks, &hidden);
@@ -56,12 +60,12 @@ pub fn run_worker(
                     }
                     let (seq, lg) = &logits[li];
                     li += 1;
-                    let (params, step) =
-                        meta.samples[ci].as_ref().expect("sampled chunk has params");
+                    let Some((params, step)) = meta.samples[ci].as_ref() else { continue };
                     tokens.push((*seq, sample(lg, params, *seq, *step)));
                 }
-                tx.send(BatchResult { batch: meta.batch, tokens })
-                    .expect("driver hung up");
+                if tx.send(BatchResult { batch: meta.batch, tokens }).is_err() {
+                    break;
+                }
             }
         }
     }

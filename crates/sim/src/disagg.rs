@@ -18,12 +18,12 @@
 //! Decode-side preemptions recompute on the decode cluster, as real
 //! disaggregated systems do when the decode side runs out of KV.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use gllm_core::sarathi::SarathiServe;
 use gllm_core::throttle::TokenThrottle;
 use gllm_core::{admit, BatchPlan, RequestPool, SchedulePolicy};
-use gllm_kvcache::KvCacheManager;
+use gllm_kvcache::{KvCacheManager, Tokens};
 use gllm_metrics::{BusyTracker, MetricsRecorder, TokenTrace};
 use gllm_model::{BatchWorkload, CostModel, PipelinePartition, SequenceChunk};
 use gllm_workload::Trace;
@@ -72,7 +72,7 @@ struct PipeSide {
     kv: KvCacheManager,
     stage_busy: Vec<Option<u64>>,
     stage_queue: Vec<VecDeque<u64>>,
-    batches: HashMap<u64, InFlightBatch>,
+    batches: BTreeMap<u64, InFlightBatch>,
     in_flight: usize,
     gpu_offset: usize,
 }
@@ -112,10 +112,13 @@ pub fn simulate_disaggregated(
             exec,
             policy,
             pool: RequestPool::new(deployment.max_seqs_per_batch),
-            kv: KvCacheManager::from_token_capacity(kv_tokens.max(1), deployment.block_size),
+            kv: KvCacheManager::from_token_capacity(
+                Tokens(kv_tokens.max(1)),
+                Tokens(deployment.block_size),
+            ),
             stage_busy: vec![None; stages],
             stage_queue: vec![VecDeque::new(); stages],
-            batches: HashMap::new(),
+            batches: BTreeMap::new(),
             in_flight: 0,
             gpu_offset: offset,
         }
@@ -128,7 +131,7 @@ pub fn simulate_disaggregated(
 
     // Request book-keeping: (prompt_len, max_output) by id, and the KV
     // transfer cost between the clusters.
-    let req_info: HashMap<u64, (usize, usize)> = trace
+    let req_info: BTreeMap<u64, (usize, usize)> = trace
         .requests
         .iter()
         .map(|r| (r.id, (r.prompt_len, r.output_len)))
@@ -197,7 +200,7 @@ pub fn simulate_disaggregated(
             }
             let view = side.pool.view(
                 side.kv.free_rate(),
-                side.kv.free_blocks() * side.kv.block_size(),
+                side.kv.free_blocks().to_tokens(side.kv.block_size()),
                 side.kv.block_size(),
                 side.exec.scheduler_depth(),
             );
@@ -222,19 +225,19 @@ pub fn simulate_disaggregated(
             }
             side.pool.commit(&plan);
             if engine_cfg.record_token_trace {
-                token_trace.record(plan.prefill_tokens(), plan.decode_tokens());
+                token_trace.record(plan.prefill_tokens().get(), plan.decode_tokens().get());
             }
             *sched_iterations += 1;
             let workload = BatchWorkload {
                 prefill: plan
                     .prefill
                     .iter()
-                    .map(|c| SequenceChunk::prefill(c.tokens, c.context_before))
+                    .map(|c| SequenceChunk::prefill(c.tokens.get(), c.context_before.get()))
                     .collect(),
                 decode: plan
                     .decode
                     .iter()
-                    .map(|d| SequenceChunk::decode(d.context_before))
+                    .map(|d| SequenceChunk::decode(d.context_before.get()))
                     .collect(),
             };
             let sampled =
@@ -286,9 +289,9 @@ pub fn simulate_disaggregated(
             DEvent::Arrival { trace_index } => {
                 let r = &trace.requests[trace_index];
                 recorder.on_arrival(r.id, clock, r.prompt_len);
-                let fits_prefill = r.prompt_len + deployment.block_size
+                let fits_prefill = Tokens(r.prompt_len + deployment.block_size)
                     <= sides[PREFILL].kv.token_capacity();
-                let fits_decode = r.total_tokens() + deployment.block_size
+                let fits_decode = Tokens(r.total_tokens() + deployment.block_size)
                     <= sides[DECODE].kv.token_capacity();
                 if !fits_prefill || !fits_decode {
                     aborted += 1;
@@ -373,11 +376,11 @@ pub fn simulate_disaggregated(
                         // Freed KV may unblock queued transfers.
                         while let Some(&seq) = pending_admits.front() {
                             let (prompt_len, max_output) = req_info[&seq];
-                            if !sides[DECODE].kv.can_append(seq, prompt_len) {
+                            if !sides[DECODE].kv.can_append(seq, Tokens(prompt_len)) {
                                 break;
                             }
                             pending_admits.pop_front();
-                            sides[DECODE].kv.append(seq, prompt_len).expect("checked");
+                            sides[DECODE].kv.append(seq, Tokens(prompt_len)).expect("checked");
                             sides[DECODE].pool.add_decoding(seq, prompt_len, 1, max_output);
                         }
                         schedule_side!(DECODE);
@@ -394,8 +397,8 @@ pub fn simulate_disaggregated(
                     recorder.on_finish(seq, clock);
                     continue;
                 }
-                if sides[DECODE].kv.can_append(seq, prompt_len) && pending_admits.is_empty() {
-                    sides[DECODE].kv.append(seq, prompt_len).expect("checked");
+                if sides[DECODE].kv.can_append(seq, Tokens(prompt_len)) && pending_admits.is_empty() {
+                    sides[DECODE].kv.append(seq, Tokens(prompt_len)).expect("checked");
                     sides[DECODE].pool.add_decoding(seq, prompt_len, 1, max_output);
                     schedule_side!(DECODE);
                 } else {

@@ -18,10 +18,10 @@
 //! Virtual time, deterministic event ordering and seeded workloads make
 //! every simulation bit-reproducible.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use gllm_core::{admit, BatchPlan, RequestPool, SchedulePolicy};
-use gllm_kvcache::KvCacheManager;
+use gllm_kvcache::{Blocks, KvCacheManager, Tokens};
 use gllm_metrics::{
     AuditReport, BusyTracker, InvariantAuditor, KvObservation, MetricsRecorder, PipelineTrace,
     PlanCaps, TokenTrace,
@@ -209,7 +209,7 @@ pub struct SimEngine<'a> {
 
     stage_busy: Vec<Option<u64>>,
     stage_queue: Vec<VecDeque<u64>>,
-    batches: HashMap<u64, InFlightBatch>,
+    batches: BTreeMap<u64, InFlightBatch>,
     next_batch_id: u64,
     in_flight: usize,
 
@@ -241,7 +241,9 @@ impl<'a> SimEngine<'a> {
         let enable_cpp = cfg.enable_cpp;
         let auditor = cfg
             .audit
-            .then(|| InvariantAuditor::new(kv_blocks, block_size, exec.scheduler_depth()));
+            .then(|| {
+                InvariantAuditor::new(Blocks(kv_blocks), Tokens(block_size), exec.scheduler_depth())
+            });
         let ptrace = PipelineTrace::new(cfg.record_pipeline_trace);
         Self {
             trace,
@@ -252,10 +254,10 @@ impl<'a> SimEngine<'a> {
             clock: 0.0,
             events: EventQueue::new(),
             pool: RequestPool::new(max_seqs_per_batch).with_cpp(enable_cpp),
-            kv: KvCacheManager::new(kv_blocks, block_size),
+            kv: KvCacheManager::new(Blocks(kv_blocks), Tokens(block_size)),
             stage_busy: vec![None; stages],
             stage_queue: vec![VecDeque::new(); stages],
-            batches: HashMap::new(),
+            batches: BTreeMap::new(),
             next_batch_id: 0,
             in_flight: 0,
             recorder: MetricsRecorder::new(),
@@ -316,7 +318,7 @@ impl<'a> SimEngine<'a> {
         }
         // A request whose full context can never fit is rejected up front
         // (a real engine would return an error to the client).
-        if r.total_tokens() + self.kv.block_size() > self.kv.token_capacity() {
+        if Tokens(r.total_tokens()) + self.kv.block_size() > self.kv.token_capacity() {
             self.aborted += 1;
             if let Some(a) = self.auditor.as_mut() {
                 a.on_abort(r.id);
@@ -409,7 +411,7 @@ impl<'a> SimEngine<'a> {
             }
             let view = self.pool.view(
                 self.kv.free_rate(),
-                self.kv.free_blocks() * self.kv.block_size(),
+                self.kv.free_blocks().to_tokens(self.kv.block_size()),
                 self.kv.block_size(),
                 self.exec.scheduler_depth(),
             );
@@ -453,7 +455,8 @@ impl<'a> SimEngine<'a> {
             }
             self.pool.commit(&plan);
             if self.cfg.record_token_trace {
-                self.token_trace.record(plan.prefill_tokens(), plan.decode_tokens());
+                self.token_trace
+                    .record(plan.prefill_tokens().get(), plan.decode_tokens().get());
             }
             self.sched_iterations += 1;
             if let (Some(a), Some(proposed)) = (self.auditor.as_mut(), proposed_copy.as_ref()) {
@@ -474,8 +477,8 @@ impl<'a> SimEngine<'a> {
             self.ptrace.schedule(
                 self.clock,
                 self.next_batch_id,
-                plan.prefill_tokens(),
-                plan.decode_tokens(),
+                plan.prefill_tokens().get(),
+                plan.decode_tokens().get(),
                 plan.num_seqs(),
             );
 
@@ -499,12 +502,12 @@ fn to_workload(plan: &BatchPlan) -> BatchWorkload {
         prefill: plan
             .prefill
             .iter()
-            .map(|c| SequenceChunk::prefill(c.tokens, c.context_before))
+            .map(|c| SequenceChunk::prefill(c.tokens.get(), c.context_before.get()))
             .collect(),
         decode: plan
             .decode
             .iter()
-            .map(|d| SequenceChunk::decode(d.context_before))
+            .map(|d| SequenceChunk::decode(d.context_before.get()))
             .collect(),
     }
 }
@@ -790,7 +793,7 @@ mod tests {
             // Token-granular reservation: one token per decode slot, then
             // hand ALL remaining free tokens to prefill — ignores that each
             // decode at a block boundary claims a whole fresh block.
-            let kv_left = view.kv_free_tokens.saturating_sub(decode.len());
+            let kv_left = view.kv_free_tokens.saturating_sub(Tokens(decode.len()));
             let prefill = view
                 .waiting
                 .first()
@@ -801,14 +804,14 @@ mod tests {
                     completes_prompt: w.remaining_prefill <= kv_left,
                 })
                 .into_iter()
-                .filter(|c| c.tokens > 0)
+                .filter(|c| !c.tokens.is_zero())
                 .collect();
             BatchPlan { prefill, decode }
         }
 
-        fn budget_caps(&self, _view: &ScheduleView) -> Option<(usize, usize)> {
+        fn budget_caps(&self, _view: &ScheduleView) -> Option<(Tokens, usize)> {
             // Published caps that the plans above routinely exceed.
-            Some((1, 0))
+            Some((Tokens(1), 0))
         }
 
         fn name(&self) -> &'static str {

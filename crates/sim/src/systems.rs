@@ -1,6 +1,7 @@
 //! Presets for every system in the paper's evaluation (§4.1 "Schemes").
 
 use gllm_core::batch_level::BatchLevelPolicy;
+use gllm_kvcache::Tokens;
 use gllm_core::orca::OrcaPolicy;
 use gllm_core::sarathi::SarathiServe;
 use gllm_core::td_pipe::TdPipe;
@@ -55,7 +56,7 @@ impl PolicyKind {
     pub fn build(&self) -> Box<dyn SchedulePolicy> {
         match self {
             PolicyKind::Throttle(cfg) => Box::new(TokenThrottle::new(*cfg)),
-            PolicyKind::Sarathi { token_budget } => Box::new(SarathiServe::new(*token_budget)),
+            PolicyKind::Sarathi { token_budget } => Box::new(SarathiServe::new(Tokens(*token_budget))),
             PolicyKind::Orca { max_new_prompts } => {
                 Box::new(OrcaPolicy { max_new_prompts: *max_new_prompts })
             }
@@ -63,7 +64,7 @@ impl PolicyKind {
                 Box::new(BatchLevelPolicy { batch_size: *batch_size })
             }
             PolicyKind::TdPipe { prefill_batch_tokens, high_watermark, low_watermark } => {
-                Box::new(TdPipe::new(*prefill_batch_tokens, *high_watermark, *low_watermark))
+                Box::new(TdPipe::new(Tokens(*prefill_batch_tokens), *high_watermark, *low_watermark))
             }
         }
     }

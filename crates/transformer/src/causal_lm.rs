@@ -9,7 +9,7 @@
 //! identical arithmetic, which is what the cross-plane equivalence tests
 //! assert.
 
-use gllm_kvcache::{KvCacheManager, KvError};
+use gllm_kvcache::{Blocks, KvCacheManager, KvError, Tokens};
 use gllm_model::ModelConfig;
 
 use crate::model::{BatchChunk, StageModel};
@@ -51,7 +51,11 @@ impl CausalLM {
             ));
             start += len;
         }
-        Self { cfg: cfg.clone(), stages, kvm: KvCacheManager::new(kv_blocks, block_size) }
+        Self {
+            cfg: cfg.clone(),
+            stages,
+            kvm: KvCacheManager::new(Blocks(kv_blocks), Tokens(block_size)),
+        }
     }
 
     /// The model configuration.
@@ -69,8 +73,13 @@ impl CausalLM {
     /// chunk with `sample == true`.
     pub fn forward_batch(&mut self, chunks: &[BatchChunk]) -> Result<Vec<(u64, Vec<f32>)>, KvError> {
         for c in chunks {
-            debug_assert_eq!(self.kvm.context_len(c.seq), c.start_pos, "gap in KV for {}", c.seq);
-            self.kvm.append(c.seq, c.tokens.len())?;
+            debug_assert_eq!(
+                self.kvm.context_len(c.seq).get(),
+                c.start_pos,
+                "gap in KV for {}",
+                c.seq
+            );
+            self.kvm.append(c.seq, Tokens(c.tokens.len()))?;
         }
         let tables: Vec<_> = chunks
             .iter()
@@ -109,7 +118,7 @@ impl CausalLM {
 
     /// One decode step: feed `token` at the sequence's current position.
     pub fn decode_step(&mut self, seq: u64, token: u32) -> Result<Vec<f32>, KvError> {
-        let pos = self.kvm.context_len(seq);
+        let pos = self.kvm.context_len(seq).get();
         let c = BatchChunk { seq, start_pos: pos, tokens: vec![token], sample: true };
         let mut out = self.forward_batch(std::slice::from_ref(&c))?;
         Ok(out.remove(0).1)
@@ -159,7 +168,7 @@ impl CausalLM {
         prompt: &[u32],
         chunk_size: usize,
     ) -> Result<Vec<f32>, KvError> {
-        let shared = self.kvm.fork_prefix(parent, child)?;
+        let shared = self.kvm.fork_prefix(parent, child)?.get();
         assert!(
             shared < prompt.len(),
             "prompt ({}) must extend past the shared prefix ({shared})",

@@ -278,7 +278,7 @@ fn attend_and_mlp(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gllm_kvcache::KvCacheManager;
+    use gllm_kvcache::{Blocks, KvCacheManager, Tokens};
 
     fn tiny_stage(kv_slots: usize) -> StageModel {
         let cfg = ModelConfig::tiny();
@@ -286,7 +286,7 @@ mod tests {
     }
 
     fn run_prompt(stage: &mut StageModel, kvm: &mut KvCacheManager, seq: u64, prompt: &[u32]) -> Vec<f32> {
-        kvm.append(seq, prompt.len()).unwrap();
+        kvm.append(seq, Tokens(prompt.len())).unwrap();
         let chunk = BatchChunk { seq, start_pos: 0, tokens: prompt.to_vec(), sample: true };
         let table = kvm.table(seq).unwrap();
         let mut hidden = stage.embed(std::slice::from_ref(&chunk));
@@ -298,10 +298,10 @@ mod tests {
 
     #[test]
     fn forward_is_deterministic() {
-        let mut kvm = KvCacheManager::new(16, 4);
+        let mut kvm = KvCacheManager::new(Blocks(16), Tokens(4));
         let mut s1 = tiny_stage(64);
         let a = run_prompt(&mut s1, &mut kvm, 1, &[3, 5, 7]);
-        let mut kvm2 = KvCacheManager::new(16, 4);
+        let mut kvm2 = KvCacheManager::new(Blocks(16), Tokens(4));
         let mut s2 = tiny_stage(64);
         let b = run_prompt(&mut s2, &mut kvm2, 1, &[3, 5, 7]);
         assert_eq!(a, b);
@@ -309,7 +309,7 @@ mod tests {
 
     #[test]
     fn different_prompts_give_different_logits() {
-        let mut kvm = KvCacheManager::new(32, 4);
+        let mut kvm = KvCacheManager::new(Blocks(32), Tokens(4));
         let mut s = tiny_stage(128);
         let a = run_prompt(&mut s, &mut kvm, 1, &[3, 5, 7]);
         let b = run_prompt(&mut s, &mut kvm, 2, &[3, 5, 8]);
@@ -321,18 +321,18 @@ mod tests {
     fn chunked_prefill_matches_whole_prefill_bitexact() {
         let prompt: Vec<u32> = vec![9, 2, 250, 17, 4, 99, 31, 8];
         // Whole prefill.
-        let mut kvm_a = KvCacheManager::new(32, 4);
+        let mut kvm_a = KvCacheManager::new(Blocks(32), Tokens(4));
         let mut sa = tiny_stage(128);
         let whole = run_prompt(&mut sa, &mut kvm_a, 1, &prompt);
         // Chunked prefill: 3 + 5 tokens.
-        let mut kvm_b = KvCacheManager::new(32, 4);
+        let mut kvm_b = KvCacheManager::new(Blocks(32), Tokens(4));
         let mut sb = tiny_stage(128);
-        kvm_b.append(1, 3).unwrap();
+        kvm_b.append(1, Tokens(3)).unwrap();
         let c1 = BatchChunk { seq: 1, start_pos: 0, tokens: prompt[..3].to_vec(), sample: false };
         let t1 = kvm_b.table(1).unwrap().clone();
         let mut h1 = sb.embed(std::slice::from_ref(&c1));
         sb.forward(std::slice::from_ref(&c1), &[&t1], &mut h1);
-        kvm_b.append(1, 5).unwrap();
+        kvm_b.append(1, Tokens(5)).unwrap();
         let c2 = BatchChunk { seq: 1, start_pos: 3, tokens: prompt[3..].to_vec(), sample: true };
         let t2 = kvm_b.table(1).unwrap().clone();
         let mut h2 = sb.embed(std::slice::from_ref(&c2));
@@ -346,10 +346,10 @@ mod tests {
         // Two sequences in one micro-batch vs two separate passes.
         let p1: Vec<u32> = vec![1, 2, 3, 4];
         let p2: Vec<u32> = vec![200, 100, 50];
-        let mut kvm = KvCacheManager::new(64, 4);
+        let mut kvm = KvCacheManager::new(Blocks(64), Tokens(4));
         let mut s = tiny_stage(256);
-        kvm.append(1, p1.len()).unwrap();
-        kvm.append(2, p2.len()).unwrap();
+        kvm.append(1, Tokens(p1.len())).unwrap();
+        kvm.append(2, Tokens(p2.len())).unwrap();
         let chunks = vec![
             BatchChunk { seq: 1, start_pos: 0, tokens: p1.clone(), sample: true },
             BatchChunk { seq: 2, start_pos: 0, tokens: p2.clone(), sample: true },
@@ -360,10 +360,10 @@ mod tests {
         s.forward(&chunks, &[&t1, &t2], &mut hidden);
         let batched = s.project(&chunks, &hidden);
 
-        let mut kvm_a = KvCacheManager::new(64, 4);
+        let mut kvm_a = KvCacheManager::new(Blocks(64), Tokens(4));
         let mut sa = tiny_stage(256);
         let solo1 = run_prompt(&mut sa, &mut kvm_a, 1, &p1);
-        let mut kvm_b = KvCacheManager::new(64, 4);
+        let mut kvm_b = KvCacheManager::new(Blocks(64), Tokens(4));
         let mut sb = tiny_stage(256);
         let solo2 = run_prompt(&mut sb, &mut kvm_b, 2, &p2);
 
@@ -376,14 +376,14 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let prompt: Vec<u32> = vec![11, 22, 33, 44, 55];
         // Single stage.
-        let mut kvm = KvCacheManager::new(32, 4);
+        let mut kvm = KvCacheManager::new(Blocks(32), Tokens(4));
         let mut whole = tiny_stage(128);
         let expected = run_prompt(&mut whole, &mut kvm, 1, &prompt);
         // Two stages: layers 0..2 and 2..4.
         let mut s0 = StageModel::new(cfg.clone(), 0..2, 128, 7, true, false);
         let mut s1 = StageModel::new(cfg.clone(), 2..4, 128, 7, false, true);
-        let mut kvm2 = KvCacheManager::new(32, 4);
-        kvm2.append(1, prompt.len()).unwrap();
+        let mut kvm2 = KvCacheManager::new(Blocks(32), Tokens(4));
+        kvm2.append(1, Tokens(prompt.len())).unwrap();
         let chunk = BatchChunk { seq: 1, start_pos: 0, tokens: prompt.clone(), sample: true };
         let t = kvm2.table(1).unwrap().clone();
         let mut hidden = s0.embed(std::slice::from_ref(&chunk));
@@ -398,19 +398,19 @@ mod tests {
         // Fragment the allocator so sequence 2's blocks are non-adjacent,
         // then check logits match a fresh contiguous run.
         let prompt: Vec<u32> = vec![7, 8, 9, 10, 11, 12];
-        let mut kvm = KvCacheManager::new(16, 2);
+        let mut kvm = KvCacheManager::new(Blocks(16), Tokens(2));
         let mut s = tiny_stage(32);
-        kvm.append(10, 2).unwrap(); // occupy block 0
-        kvm.append(11, 2).unwrap(); // occupy block 1
+        kvm.append(10, Tokens(2)).unwrap(); // occupy block 0
+        kvm.append(11, Tokens(2)).unwrap(); // occupy block 1
         kvm.free(10).unwrap(); // hole at block 0
-        kvm.append(2, prompt.len()).unwrap(); // spans hole + tail blocks
+        kvm.append(2, Tokens(prompt.len())).unwrap(); // spans hole + tail blocks
         let chunk = BatchChunk { seq: 2, start_pos: 0, tokens: prompt.clone(), sample: true };
         let t = kvm.table(2).unwrap().clone();
         let mut hidden = s.embed(std::slice::from_ref(&chunk));
         s.forward(std::slice::from_ref(&chunk), &[&t], &mut hidden);
         let frag = s.project(std::slice::from_ref(&chunk), &hidden).remove(0).1;
 
-        let mut kvm2 = KvCacheManager::new(16, 2);
+        let mut kvm2 = KvCacheManager::new(Blocks(16), Tokens(2));
         let mut s2 = tiny_stage(32);
         let contiguous = run_prompt(&mut s2, &mut kvm2, 2, &prompt);
         assert_eq!(frag, contiguous, "paging layout leaked into results");

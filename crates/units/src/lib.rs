@@ -1,0 +1,223 @@
+//! Unit-of-measure newtypes for the scheduler/allocator boundary.
+//!
+//! PR 1's headline bug was a token-vs-block confusion: `TokenThrottle::plan`
+//! reserved KV headroom at token granularity while `BlockAllocator` accounts
+//! in blocks, and nothing in the type system objected. These newtypes make
+//! that class of bug unrepresentable at the public interfaces of
+//! `gllm-core` and `gllm-kvcache`: a [`Tokens`] cannot be added to a
+//! [`Blocks`], and the *only* sanctioned conversions between them are
+//! [`Tokens::to_blocks`] / [`Tokens::full_blocks`] / [`Blocks::to_tokens`],
+//! which all demand the block size explicitly.
+//!
+//! Design rules (enforced by `gllm-lint`'s `unit-confusion` check):
+//! - Public scheduler/allocator functions and struct fields whose names
+//!   mention tokens/blocks/bytes carry the corresponding newtype, never a
+//!   raw integer.
+//! - The wrapped value is reachable via `.0` or [`Tokens::get`] for local
+//!   arithmetic (loop counts, indexing), but quantities crossing a public
+//!   interface go back in the newtype.
+//! - Arithmetic between like units is provided (`+`, `-`, `+=`, `-=`,
+//!   `sum()`, `min`/`max` via `Ord`); arithmetic across units is a compile
+//!   error by construction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0);
+
+            /// Construct from a raw count.
+            pub const fn new(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// The raw count, for local arithmetic and indexing.
+            pub const fn get(self) -> $repr {
+                self.0
+            }
+
+            /// `true` when the quantity is zero.
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+
+            /// Saturating same-unit subtraction (never underflows).
+            pub const fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Same-unit checked subtraction.
+            pub const fn checked_sub(self, rhs: Self) -> Option<Self> {
+                match self.0.checked_sub(rhs.0) {
+                    Some(v) => Some(Self(v)),
+                    None => None,
+                }
+            }
+
+            /// The smaller of two quantities.
+            pub fn min(self, rhs: Self) -> Self {
+                Self(self.0.min(rhs.0))
+            }
+
+            /// The larger of two quantities.
+            pub fn max(self, rhs: Self) -> Self {
+                Self(self.0.max(rhs.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// A count of tokens (prompt positions, KV slots, budget units).
+    Tokens,
+    usize,
+    "tok"
+);
+
+unit_newtype!(
+    /// A count of KV-cache blocks (allocator granularity).
+    Blocks,
+    usize,
+    "blk"
+);
+
+unit_newtype!(
+    /// A count of bytes (weights, activations, link transfers).
+    Bytes,
+    u64,
+    "B"
+);
+
+impl Tokens {
+    /// Blocks needed to hold this many tokens: the **only** sanctioned
+    /// token→block conversion (ceiling division by the block size).
+    ///
+    /// Callers must pass the allocator's block size explicitly — there is
+    /// deliberately no global or default block size to mis-assume.
+    pub fn to_blocks(self, block_size: Tokens) -> Blocks {
+        Blocks(self.0.div_ceil(block_size.0.max(1)))
+    }
+
+    /// Fully occupied blocks at this token count (floor division); used by
+    /// prefix forking, which may only share *complete* blocks.
+    pub fn full_blocks(self, block_size: Tokens) -> Blocks {
+        Blocks(self.0 / block_size.0.max(1))
+    }
+}
+
+impl Blocks {
+    /// Token capacity of this many blocks: the sanctioned block→token
+    /// conversion (exact multiplication by the block size).
+    pub fn to_tokens(self, block_size: Tokens) -> Tokens {
+        Tokens(self.0 * block_size.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_block_round_trips_respect_block_size() {
+        let bs = Tokens(16);
+        assert_eq!(Tokens(0).to_blocks(bs), Blocks(0));
+        assert_eq!(Tokens(1).to_blocks(bs), Blocks(1));
+        assert_eq!(Tokens(16).to_blocks(bs), Blocks(1));
+        assert_eq!(Tokens(17).to_blocks(bs), Blocks(2));
+        assert_eq!(Tokens(17).full_blocks(bs), Blocks(1));
+        assert_eq!(Blocks(3).to_tokens(bs), Tokens(48));
+    }
+
+    #[test]
+    fn arithmetic_stays_within_one_unit() {
+        let a = Tokens(10) + Tokens(5) - Tokens(3);
+        assert_eq!(a, Tokens(12));
+        assert_eq!(Tokens(3).saturating_sub(Tokens(9)), Tokens::ZERO);
+        assert_eq!(Tokens(3).checked_sub(Tokens(9)), None);
+        let total: Tokens = [Tokens(1), Tokens(2), Tokens(3)].into_iter().sum();
+        assert_eq!(total, Tokens(6));
+        let mut b = Blocks(4);
+        b += Blocks(2);
+        b -= Blocks(1);
+        assert_eq!(b, Blocks(5));
+        assert_eq!(Tokens(7).min(Tokens(4)), Tokens(4));
+        assert_eq!(Tokens(7).max(Tokens(4)), Tokens(7));
+    }
+
+    #[test]
+    fn display_carries_the_unit_suffix() {
+        assert_eq!(Tokens(5).to_string(), "5tok");
+        assert_eq!(Blocks(2).to_string(), "2blk");
+        assert_eq!(Bytes(1024).to_string(), "1024B");
+    }
+
+    #[test]
+    fn serde_round_trip_is_transparent_enough() {
+        use serde::Serialize as _;
+        let v = Tokens(42).to_value();
+        let back = <Tokens as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back, Tokens(42));
+    }
+
+    #[test]
+    fn degenerate_block_size_does_not_divide_by_zero() {
+        assert_eq!(Tokens(5).to_blocks(Tokens(0)), Blocks(5));
+        assert_eq!(Tokens(5).full_blocks(Tokens(0)), Blocks(5));
+    }
+}

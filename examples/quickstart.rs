@@ -22,24 +22,30 @@ fn main() {
     println!("gLLM runtime up: 4 pipeline stages, Token Throttling scheduler\n");
 
     // Three requests: greedy, top-k sampled, and a longer prompt.
-    server.submit(GenRequest {
-        id: 0,
-        prompt: vec![12, 42, 7, 99],
-        max_new: 8,
-        params: SamplingParams::greedy(),
-    });
-    server.submit(GenRequest {
-        id: 1,
-        prompt: vec![3, 1, 4, 1, 5, 9, 2, 6],
-        max_new: 8,
-        params: SamplingParams { temperature: 0.8, top_k: 40, top_p: 0.95, seed: 7 },
-    });
-    server.submit(GenRequest {
-        id: 2,
-        prompt: (0..24).map(|i| (i * 11 % 256) as u32).collect(),
-        max_new: 12,
-        params: SamplingParams::greedy(),
-    });
+    server
+        .submit(GenRequest {
+            id: 0,
+            prompt: vec![12, 42, 7, 99],
+            max_new: 8,
+            params: SamplingParams::greedy(),
+        })
+        .expect("driver is running");
+    server
+        .submit(GenRequest {
+            id: 1,
+            prompt: vec![3, 1, 4, 1, 5, 9, 2, 6],
+            max_new: 8,
+            params: SamplingParams { temperature: 0.8, top_k: 40, top_p: 0.95, seed: 7 },
+        })
+        .expect("driver is running");
+    server
+        .submit(GenRequest {
+            id: 2,
+            prompt: (0..24).map(|i| (i * 11 % 256) as u32).collect(),
+            max_new: 12,
+            params: SamplingParams::greedy(),
+        })
+        .expect("driver is running");
 
     // Stream tokens as they are produced (the decoupled frontend).
     let mut open = 3;

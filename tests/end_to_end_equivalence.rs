@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use gllm::core::sarathi::SarathiServe;
+use gllm::core::Tokens;
 use gllm::core::throttle::{ThrottleConfig, TokenThrottle};
 use gllm::core::SchedulePolicy;
 use gllm::model::ModelConfig;
@@ -62,8 +63,8 @@ fn every_scheduler_and_depth_reproduces_reference_outputs() {
             ("throttle", Arc::new(TokenThrottle::default())),
             ("sarathi", Arc::new(SarathiServe::default())),
             ("throttle-small-chunks", Arc::new(TokenThrottle::new(ThrottleConfig {
-                max_p: 8,
-                min_p: 2,
+                max_p: Tokens(8),
+                min_p: Tokens(2),
                 ..Default::default()
             }))),
         ];
@@ -84,7 +85,7 @@ fn stochastic_sampling_is_batch_invariant() {
     }
     let expected = reference(&reqs);
     let a = serve(&reqs, 2, Arc::new(TokenThrottle::default()));
-    let b = serve(&reqs, 3, Arc::new(SarathiServe::new(16)));
+    let b = serve(&reqs, 3, Arc::new(SarathiServe::new(Tokens(16))));
     assert_eq!(a, expected);
     assert_eq!(b, expected);
 }
@@ -94,7 +95,7 @@ fn tiny_chunk_budget_still_converges_to_identical_outputs() {
     // Degenerate chunking (budget 4 tokens) forces many-chunk prefills.
     let reqs = random_requests(17, 6, 6);
     let expected = reference(&reqs);
-    let got = serve(&reqs, 2, Arc::new(SarathiServe::new(4)));
+    let got = serve(&reqs, 2, Arc::new(SarathiServe::new(Tokens(4))));
     assert_eq!(got, expected);
 }
 
