@@ -12,3 +12,9 @@ cargo run -p gllm-lint -- --deny
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Stage 2: perf self-benchmark. Times every figure family's sweep serial
+# vs parallel vs the unoptimized baseline, writes BENCH_sweep.json at the
+# repo root, and exits nonzero if the parallel sweep's output ever
+# diverges from the serial run (the harness's bit-identity guarantee).
+cargo run --release -p gllm-bench --bin perf_harness -- --quick

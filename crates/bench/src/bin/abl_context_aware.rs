@@ -13,11 +13,12 @@
 //!   context chunks shrink so batch *times* stay even.
 
 use gllm_bench::output::{f3, ms, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_core::throttle::ThrottleConfig;
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
-use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::{ArrivalProcess, Dataset, LengthDistribution, Trace};
 use serde::Serialize;
 
@@ -39,7 +40,8 @@ fn main() {
         output: LengthDistribution::Uniform { min: 32, max: 128 },
     };
     let trace = Trace::synthesize(dataset, ArrivalProcess::Poisson { rate: 0.5 }, 128.0, 0, 7);
-    let cfg = EngineConfig::default();
+    // The token-CV column reads the token trace; utilisation is unused.
+    let cfg = EngineConfig { record_utilization: false, ..EngineConfig::default() };
 
     let quad_ref = deployment.quad_ref_tokens();
     println!(
@@ -51,10 +53,20 @@ fn main() {
         SystemConfig::gllm(),
         SystemConfig::gllm_with(ThrottleConfig::default().with_context_aware(quad_ref)),
     ];
+    let job_list: Vec<ExperimentJob> = systems
+        .iter()
+        .map(|s| ExperimentJob {
+            trace: &trace,
+            system: s,
+            deployment: &deployment,
+            cfg: &cfg,
+            tweak: None,
+        })
+        .collect();
+    let results = run_experiments(&job_list, jobs());
     let mut rows = Vec::new();
     let mut t = Table::new(&["system", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput", "token CV"]);
-    for sys in &systems {
-        let r = run_experiment(&trace, sys, &deployment, &cfg);
+    for (sys, r) in systems.iter().zip(&results) {
         let name = sys.policy.build().name().to_string();
         t.row(vec![
             name.clone(),

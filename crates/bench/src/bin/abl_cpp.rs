@@ -7,10 +7,11 @@
 //! does not hurt the mixed online workload.
 
 use gllm_bench::output::{f3, ms, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
-use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::{ArrivalProcess, Dataset, LengthDistribution, Trace};
 use serde::Serialize;
 
@@ -26,7 +27,12 @@ struct Row {
 
 fn main() {
     let deployment = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
-    let cfg = EngineConfig::default();
+    // Report-only bench: skip the per-iteration observers.
+    let cfg = EngineConfig {
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
     let long_prompts = Trace::synthesize(
         Dataset::Custom {
             input: LengthDistribution::Uniform { min: 8192, max: 16384 },
@@ -40,28 +46,45 @@ fn main() {
     let online = Trace::paper_online(Dataset::ShareGpt, 4.0, 17);
 
     println!("Extension ablation — chunked pipeline parallelism (CPP)\n");
+    let systems = [SystemConfig::gllm(), SystemConfig::gllm_cpp()];
+    let workloads = [("long-prompt @0.25", &long_prompts), ("sharegpt @4", &online)];
+    let cells: Vec<(&str, &SystemConfig)> = workloads
+        .iter()
+        .flat_map(|&(wname, _)| systems.iter().map(move |sys| (wname, sys)))
+        .collect();
+    let (deployment, cfg_ref) = (&deployment, &cfg);
+    let job_list: Vec<ExperimentJob> = workloads
+        .iter()
+        .flat_map(|&(_, trace)| {
+            systems.iter().map(move |sys| ExperimentJob {
+                trace,
+                system: sys,
+                deployment,
+                cfg: cfg_ref,
+                tweak: None,
+            })
+        })
+        .collect();
+    let results = run_experiments(&job_list, jobs());
     let mut rows = Vec::new();
     let mut t = Table::new(&["workload", "system", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput"]);
-    for (wname, trace) in [("long-prompt @0.25", &long_prompts), ("sharegpt @4", &online)] {
-        for sys in [SystemConfig::gllm(), SystemConfig::gllm_cpp()] {
-            let r = run_experiment(trace, &sys, &deployment, &cfg);
-            t.row(vec![
-                wname.into(),
-                sys.name.clone(),
-                ms(r.report.mean_ttft_s),
-                ms(r.report.mean_tpot_s),
-                f3(r.report.mean_e2el_s),
-                f3(r.report.throughput_tok_s),
-            ]);
-            rows.push(Row {
-                workload: wname.into(),
-                system: sys.name.clone(),
-                ttft_s: r.report.mean_ttft_s,
-                tpot_s: r.report.mean_tpot_s,
-                e2el_s: r.report.mean_e2el_s,
-                throughput: r.report.throughput_tok_s,
-            });
-        }
+    for ((wname, sys), r) in cells.iter().zip(&results) {
+        t.row(vec![
+            (*wname).into(),
+            sys.name.clone(),
+            ms(r.report.mean_ttft_s),
+            ms(r.report.mean_tpot_s),
+            f3(r.report.mean_e2el_s),
+            f3(r.report.throughput_tok_s),
+        ]);
+        rows.push(Row {
+            workload: (*wname).into(),
+            system: sys.name.clone(),
+            ttft_s: r.report.mean_ttft_s,
+            tpot_s: r.report.mean_tpot_s,
+            e2el_s: r.report.mean_e2el_s,
+            throughput: r.report.throughput_tok_s,
+        });
     }
     t.print();
     println!("\nexpected: CPP pipelines a long prompt's chunks across stages,");

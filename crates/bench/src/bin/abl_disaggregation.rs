@@ -10,10 +10,11 @@
 //! the per-workload best without any provisioning decision.
 
 use gllm_bench::output::{f3, ms, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_metrics::ServingReport;
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
+use gllm_sim::sweep::parallel_map;
 use gllm_sim::{
     run_experiment, simulate_disaggregated, Deployment, DisaggConfig, SystemConfig,
 };
@@ -32,7 +33,12 @@ struct Row {
 
 fn main() {
     let deployment = Deployment::new(ModelConfig::qwen2_5_14b(), ClusterSpec::intra_node_l20(4));
-    let cfg = EngineConfig::default();
+    // Report-only bench: skip the per-iteration observers.
+    let cfg = EngineConfig {
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
     let workloads: Vec<(&str, Trace)> = vec![
         ("balanced (sharegpt @6)", Trace::paper_online(Dataset::ShareGpt, 6.0, 23)),
         (
@@ -68,46 +74,46 @@ fn main() {
         DisaggConfig { prefill_gpus: 3, decode_gpus: 1 },
     ];
 
+    // Each (workload, architecture) cell is an independent simulation —
+    // unified gLLM or one P:D split — so the whole grid fans out at once.
+    let gllm = SystemConfig::gllm();
+    let cells: Vec<(&str, &Trace, Option<DisaggConfig>)> = workloads
+        .iter()
+        .flat_map(|(wname, trace)| {
+            std::iter::once((*wname, trace, None))
+                .chain(splits.iter().map(move |&s| (*wname, trace, Some(s))))
+        })
+        .collect();
+    let reports: Vec<(String, ServingReport)> = parallel_map(&cells, jobs(), |_, cell| {
+        let &(_, trace, split) = cell;
+        match split {
+            None => ("gLLM unified".into(), run_experiment(trace, &gllm, &deployment, &cfg).report),
+            Some(split) => {
+                let out = simulate_disaggregated(trace, &deployment, split, &cfg);
+                (split.name(), ServingReport::from_recorder(&out.recorder))
+            }
+        }
+    });
+
     let mut rows = Vec::new();
     let mut t = Table::new(&["workload", "system", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput"]);
-    for (wname, trace) in &workloads {
-        let unified = run_experiment(trace, &SystemConfig::gllm(), &deployment, &cfg);
+    for ((wname, _, _), (system, report)) in cells.iter().zip(&reports) {
         t.row(vec![
             (*wname).into(),
-            "gLLM unified".into(),
-            ms(unified.report.mean_ttft_s),
-            ms(unified.report.mean_tpot_s),
-            f3(unified.report.mean_e2el_s),
-            f3(unified.report.throughput_tok_s),
+            system.clone(),
+            ms(report.mean_ttft_s),
+            ms(report.mean_tpot_s),
+            f3(report.mean_e2el_s),
+            f3(report.throughput_tok_s),
         ]);
         rows.push(Row {
             workload: (*wname).into(),
-            system: "gLLM unified".into(),
-            ttft_s: unified.report.mean_ttft_s,
-            tpot_s: unified.report.mean_tpot_s,
-            e2el_s: unified.report.mean_e2el_s,
-            throughput: unified.report.throughput_tok_s,
+            system: system.clone(),
+            ttft_s: report.mean_ttft_s,
+            tpot_s: report.mean_tpot_s,
+            e2el_s: report.mean_e2el_s,
+            throughput: report.throughput_tok_s,
         });
-        for split in splits {
-            let out = simulate_disaggregated(trace, &deployment, split, &cfg);
-            let report = ServingReport::from_recorder(&out.recorder);
-            t.row(vec![
-                (*wname).into(),
-                split.name(),
-                ms(report.mean_ttft_s),
-                ms(report.mean_tpot_s),
-                f3(report.mean_e2el_s),
-                f3(report.throughput_tok_s),
-            ]);
-            rows.push(Row {
-                workload: (*wname).into(),
-                system: split.name(),
-                ttft_s: report.mean_ttft_s,
-                tpot_s: report.mean_tpot_s,
-                e2el_s: report.mean_e2el_s,
-                throughput: report.throughput_tok_s,
-            });
-        }
     }
     println!("Extension study — disaggregation ratio sensitivity (14B, 4xL20)\n");
     t.print();

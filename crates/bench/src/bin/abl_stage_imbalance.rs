@@ -9,10 +9,11 @@
 //! limitation is measurable, not just stated.
 
 use gllm_bench::output::{f3, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
-use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::{Dataset, Trace};
 use serde::Serialize;
 
@@ -30,30 +31,53 @@ fn main() {
     let trace = Trace::paper_online(Dataset::ShareGpt, 4.0, 13);
 
     println!("Probe — straggler stage (stage 2 slowed by the given factor)\n");
+    let systems = [SystemConfig::gllm(), SystemConfig::vllm()];
+    let slowdowns = [1.0, 1.25, 1.5, 2.0];
+    // One engine config per slowdown level; the utilisation column needs
+    // busy intervals, the token trace is unused.
+    let configs: Vec<EngineConfig> = slowdowns
+        .iter()
+        .map(|&s| EngineConfig {
+            stage_slowdown: vec![1.0, 1.0, s, 1.0],
+            record_token_trace: false,
+            ..EngineConfig::default()
+        })
+        .collect();
+    let cells: Vec<(&SystemConfig, f64)> = systems
+        .iter()
+        .flat_map(|sys| slowdowns.iter().map(move |&s| (sys, s)))
+        .collect();
+    let (trace, deployment) = (&trace, &deployment);
+    let job_list: Vec<ExperimentJob> = systems
+        .iter()
+        .flat_map(|sys| {
+            configs.iter().map(move |cfg| ExperimentJob {
+                trace,
+                system: sys,
+                deployment,
+                cfg,
+                tweak: None,
+            })
+        })
+        .collect();
+    let results = run_experiments(&job_list, jobs());
     let mut rows = Vec::new();
     let mut t = Table::new(&["system", "slowdown", "E2EL (s)", "tput (tok/s)", "mean util"]);
-    for sys in [SystemConfig::gllm(), SystemConfig::vllm()] {
-        for slowdown in [1.0, 1.25, 1.5, 2.0] {
-            let cfg = EngineConfig {
-                stage_slowdown: vec![1.0, 1.0, slowdown, 1.0],
-                ..EngineConfig::default()
-            };
-            let r = run_experiment(&trace, &sys, &deployment, &cfg);
-            t.row(vec![
-                sys.name.clone(),
-                format!("{slowdown}x"),
-                f3(r.report.mean_e2el_s),
-                f3(r.report.throughput_tok_s),
-                f3(r.mean_utilization),
-            ]);
-            rows.push(Row {
-                system: sys.name.clone(),
-                slowdown,
-                e2el_s: r.report.mean_e2el_s,
-                throughput: r.report.throughput_tok_s,
-                utilization: r.mean_utilization,
-            });
-        }
+    for ((sys, slowdown), r) in cells.iter().zip(&results) {
+        t.row(vec![
+            sys.name.clone(),
+            format!("{slowdown}x"),
+            f3(r.report.mean_e2el_s),
+            f3(r.report.throughput_tok_s),
+            f3(r.mean_utilization),
+        ]);
+        rows.push(Row {
+            system: sys.name.clone(),
+            slowdown: *slowdown,
+            e2el_s: r.report.mean_e2el_s,
+            throughput: r.report.throughput_tok_s,
+            utilization: r.mean_utilization,
+        });
     }
     t.print();
     println!("\nexpected: utilisation of the healthy stages falls roughly as");

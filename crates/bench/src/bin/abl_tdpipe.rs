@@ -11,10 +11,11 @@
 //!   decodes, inflating TPOT, which is the gap gLLM exists to close.
 
 use gllm_bench::output::{f3, ms, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
-use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::{ArrivalProcess, Dataset, Trace};
 use serde::Serialize;
 
@@ -31,7 +32,12 @@ struct Row {
 
 fn main() {
     let deployment = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
-    let cfg = EngineConfig::default();
+    // Report-only bench: skip the per-iteration observers.
+    let cfg = EngineConfig {
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
     let offline = Trace::synthesize(Dataset::ShareGpt, ArrivalProcess::Burst, 1.0, 384, 29);
     let online = Trace::paper_online(Dataset::ShareGpt, 5.0, 29);
     let systems = [SystemConfig::td_pipe(), SystemConfig::gllm(), SystemConfig::vllm()];
@@ -41,28 +47,44 @@ fn main() {
     let mut t = Table::new(&[
         "regime", "system", "TTFT (ms)", "TPOT (ms)", "p99 TPOT (ms)", "E2EL (s)", "tput",
     ]);
-    for (regime, trace) in [("offline burst", &offline), ("online @5 req/s", &online)] {
-        for sys in &systems {
-            let r = run_experiment(trace, sys, &deployment, &cfg);
-            t.row(vec![
-                regime.into(),
-                sys.name.clone(),
-                ms(r.report.mean_ttft_s),
-                ms(r.report.mean_tpot_s),
-                ms(r.report.p99_tpot_s),
-                f3(r.report.mean_e2el_s),
-                f3(r.report.throughput_tok_s),
-            ]);
-            rows.push(Row {
-                regime: regime.into(),
-                system: sys.name.clone(),
-                ttft_s: r.report.mean_ttft_s,
-                tpot_s: r.report.mean_tpot_s,
-                p99_tpot_s: r.report.p99_tpot_s,
-                e2el_s: r.report.mean_e2el_s,
-                throughput: r.report.throughput_tok_s,
-            });
-        }
+    let regimes = [("offline burst", &offline), ("online @5 req/s", &online)];
+    let cells: Vec<(&str, &SystemConfig)> = regimes
+        .iter()
+        .flat_map(|&(regime, _)| systems.iter().map(move |sys| (regime, sys)))
+        .collect();
+    let (deployment, cfg_ref) = (&deployment, &cfg);
+    let job_list: Vec<ExperimentJob> = regimes
+        .iter()
+        .flat_map(|&(_, trace)| {
+            systems.iter().map(move |sys| ExperimentJob {
+                trace,
+                system: sys,
+                deployment,
+                cfg: cfg_ref,
+                tweak: None,
+            })
+        })
+        .collect();
+    let results = run_experiments(&job_list, jobs());
+    for ((regime, sys), r) in cells.iter().zip(&results) {
+        t.row(vec![
+            (*regime).into(),
+            sys.name.clone(),
+            ms(r.report.mean_ttft_s),
+            ms(r.report.mean_tpot_s),
+            ms(r.report.p99_tpot_s),
+            f3(r.report.mean_e2el_s),
+            f3(r.report.throughput_tok_s),
+        ]);
+        rows.push(Row {
+            regime: (*regime).into(),
+            system: sys.name.clone(),
+            ttft_s: r.report.mean_ttft_s,
+            tpot_s: r.report.mean_tpot_s,
+            p99_tpot_s: r.report.p99_tpot_s,
+            e2el_s: r.report.mean_e2el_s,
+            throughput: r.report.throughput_tok_s,
+        });
     }
     t.print();
     println!("\nexpected: TD-Pipe's throughput is competitive offline (homogeneous");

@@ -8,10 +8,11 @@
 //! of variation quantifies the gap.
 
 use gllm_bench::output::{f3, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
-use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::{Dataset, Trace};
 use serde::Serialize;
 
@@ -27,10 +28,24 @@ fn main() {
     let deployment = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
     // A rate high enough that prefill and decode continuously contend.
     let trace = Trace::paper_online(Dataset::ShareGpt, 6.0, 2025);
-    let cfg = EngineConfig::default();
+    // This figure *is* the token trace, so it must be recorded; the
+    // utilisation series is Fig. 4's concern and stays off.
+    let cfg = EngineConfig { record_utilization: false, ..EngineConfig::default() };
 
-    let sarathi = run_experiment(&trace, &SystemConfig::vllm(), &deployment, &cfg);
-    let gllm = run_experiment(&trace, &SystemConfig::gllm(), &deployment, &cfg);
+    let systems = [SystemConfig::vllm(), SystemConfig::gllm()];
+    let job_list: Vec<ExperimentJob> = systems
+        .iter()
+        .map(|s| ExperimentJob {
+            trace: &trace,
+            system: s,
+            deployment: &deployment,
+            cfg: &cfg,
+            tweak: None,
+        })
+        .collect();
+    let mut results = run_experiments(&job_list, jobs());
+    let gllm = results.pop().expect("gLLM run");
+    let sarathi = results.pop().expect("Sarathi run");
 
     println!("Figure 1 — scheduled token counts per iteration (budget 2048)\n");
     let mut table = Table::new(&["iter", "sarathi prefill", "sarathi decode", "sarathi total",

@@ -9,10 +9,11 @@
 //! contrast.
 
 use gllm_bench::output::{f3, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
-use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::{ArrivalProcess, Dataset, Trace};
 use serde::Serialize;
 
@@ -35,10 +36,24 @@ fn main() {
         0,
         42,
     );
-    let mut cfg = EngineConfig::default();
-    cfg.record_pipeline_trace = true;
-    let sarathi = run_experiment(&trace, &SystemConfig::vllm(), &deployment, &cfg);
-    let gllm = run_experiment(&trace, &SystemConfig::gllm(), &deployment, &cfg);
+    // This figure consumes every observer plane (utilisation series, token
+    // trace, structured pipeline trace), so it is the one bench that turns
+    // them all on.
+    let cfg = EngineConfig { record_pipeline_trace: true, ..EngineConfig::default() };
+    let systems = [SystemConfig::vllm(), SystemConfig::gllm()];
+    let job_list: Vec<ExperimentJob> = systems
+        .iter()
+        .map(|s| ExperimentJob {
+            trace: &trace,
+            system: s,
+            deployment: &deployment,
+            cfg: &cfg,
+            tweak: None,
+        })
+        .collect();
+    let mut results = run_experiments(&job_list, jobs());
+    let gllm = results.pop().expect("gLLM run");
+    let sarathi = results.pop().expect("Sarathi run");
 
     // Cross-check the two instrumentation planes: the structured trace's
     // stage-busy spans must account for the same GPU-seconds the

@@ -7,12 +7,13 @@
 //! the 14B/32B panels.
 
 use gllm_bench::output::{f3, ms, Table};
-use gllm_bench::{sweep_rates, write_json};
+use gllm_bench::{jobs, sweep_rates, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::Dataset;
 
 fn main() {
+    let jobs = jobs();
     let systems = SystemConfig::paper_main();
     let panels: Vec<(&str, ModelConfig, Dataset, Vec<f64>)> = vec![
         ("14B / sharegpt", ModelConfig::qwen2_5_14b(), Dataset::ShareGpt, vec![1.0, 2.0, 4.0, 8.0, 12.0]),
@@ -24,7 +25,7 @@ fn main() {
     let mut all = Vec::new();
     for (name, model, dataset, rates) in panels {
         let deployment = Deployment::new(model, ClusterSpec::intra_node_l20(4));
-        let pts = sweep_rates(&systems, &deployment, dataset, &rates, 1001, None);
+        let pts = sweep_rates(&systems, &deployment, dataset, &rates, 1001, None, jobs);
         println!("\nFigure 10 panel: {name} (4xL20, PCIe)\n");
         let mut t = Table::new(&[
             "system", "rate", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput (tok/s)", "finished",

@@ -7,12 +7,13 @@
 //! pays per-layer all-reduces, which is where it collapses.
 
 use gllm_bench::output::{f3, ms, Table};
-use gllm_bench::{sweep_rates, write_json};
+use gllm_bench::{jobs, sweep_rates, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::Dataset;
 
 fn main() {
+    let jobs = jobs();
     let systems = SystemConfig::paper_main();
     let panels: Vec<(&str, ModelConfig, ClusterSpec, Dataset, Vec<f64>)> = vec![
         (
@@ -55,7 +56,7 @@ fn main() {
     let mut all = Vec::new();
     for (name, model, cluster, dataset, rates) in panels {
         let deployment = Deployment::new(model, cluster);
-        let pts = sweep_rates(&systems, &deployment, dataset, &rates, 1002, None);
+        let pts = sweep_rates(&systems, &deployment, dataset, &rates, 1002, None, jobs);
         println!("\nFigure 12 panel: {name} (4 nodes, 73.28 Gbps)\n");
         let mut t = Table::new(&[
             "system", "rate", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput (tok/s)", "finished",

@@ -4,11 +4,16 @@
 //! Methodology matches §4.3: escalate the request rate until throughput
 //! stabilises; the bar annotations are the speedup multiples relative to
 //! the smallest feasible deployment of each system.
+//!
+//! Each `(panel, system, gpus)` cell is an independent capacity search, so
+//! the whole grid fans across the sweep harness; rows are then emitted in
+//! grid order, identical to the old serial nested loops.
 
 use gllm_bench::output::{f3, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::capacity::max_throughput;
+use gllm_sim::sweep::parallel_map;
 use gllm_sim::{Deployment, Parallelism, SystemConfig};
 use gllm_workload::Dataset;
 use serde::Serialize;
@@ -22,18 +27,24 @@ struct Bar {
     speedup_vs_smallest: f64,
 }
 
-fn panel(
-    name: &str,
+/// One capacity-search cell of the figure's grid.
+struct Cell {
+    panel: &'static str,
+    sys_index: usize,
+    gpus: usize,
+    deployment: Deployment,
+    feasible: bool,
+}
+
+fn cells_for(
+    name: &'static str,
     model: &ModelConfig,
     cluster_of: impl Fn(usize) -> ClusterSpec,
     gpu_counts: &[usize],
-    bars: &mut Vec<Bar>,
+    systems: &[SystemConfig],
+    cells: &mut Vec<Cell>,
 ) {
-    println!("\nFigure 13 panel: {name}\n");
-    let systems = SystemConfig::paper_main();
-    let mut t = Table::new(&["system", "gpus", "max tput (tok/s)", "speedup"]);
-    for sys in &systems {
-        let mut base: Option<f64> = None;
+    for (sys_index, sys) in systems.iter().enumerate() {
         for &n in gpu_counts {
             let deployment = Deployment::new(model.clone(), cluster_of(n));
             // Skip infeasible deployments (model does not fit).
@@ -41,58 +52,98 @@ fn panel(
                 Parallelism::Pipeline => n <= model.num_layers && deployment.pp_kv_tokens() > 0,
                 Parallelism::Tensor => deployment.tp_kv_tokens() > 0,
             };
-            if !feasible {
-                t.row(vec![sys.name.clone(), n.to_string(), "-".into(), "-".into()]);
-                continue;
-            }
-            let cap = max_throughput(sys, &deployment, Dataset::ShareGpt, 1.0, 77);
-            let speedup = match base {
-                Some(b) => cap.max_throughput_tok_s / b,
-                None => {
-                    base = Some(cap.max_throughput_tok_s);
-                    1.0
-                }
-            };
-            t.row(vec![
-                sys.name.clone(),
-                n.to_string(),
-                f3(cap.max_throughput_tok_s),
-                format!("{}x", f3(speedup)),
-            ]);
-            bars.push(Bar {
-                panel: name.into(),
-                system: sys.name.clone(),
-                gpus: n,
-                max_throughput: cap.max_throughput_tok_s,
-                speedup_vs_smallest: speedup,
-            });
+            cells.push(Cell { panel: name, sys_index, gpus: n, deployment, feasible });
         }
     }
-    t.print();
 }
 
 fn main() {
-    let mut bars = Vec::new();
-    panel(
+    let jobs = jobs();
+    let systems = SystemConfig::paper_main();
+    let mut cells = Vec::new();
+    cells_for(
         "(a) intra-node L20, Qwen2.5-14B",
         &ModelConfig::qwen2_5_14b(),
         ClusterSpec::intra_node_l20,
         &[1, 2, 4],
-        &mut bars,
+        &systems,
+        &mut cells,
     );
-    panel(
+    cells_for(
         "(a') intra-node L20, Qwen2.5-32B",
         &ModelConfig::qwen2_5_32b(),
         ClusterSpec::intra_node_l20,
         &[2, 4],
-        &mut bars,
+        &systems,
+        &mut cells,
     );
-    panel(
+    cells_for(
         "(b) cross-node 1xA100 per node, Qwen2.5-14B",
         &ModelConfig::qwen2_5_14b(),
         ClusterSpec::cross_node_a100,
         &[1, 2, 4],
-        &mut bars,
+        &systems,
+        &mut cells,
     );
+
+    // Every feasible cell's rate ladder runs concurrently; the merge is in
+    // cell order so the printed rows and JSON never depend on scheduling.
+    let caps: Vec<Option<f64>> = parallel_map(&cells, jobs, |_, cell| {
+        if !cell.feasible {
+            return None;
+        }
+        let sys = &systems[cell.sys_index];
+        Some(max_throughput(sys, &cell.deployment, Dataset::ShareGpt, 1.0, 77).max_throughput_tok_s)
+    });
+
+    let mut bars = Vec::new();
+    let mut current_panel = "";
+    let mut table: Option<Table> = None;
+    let mut base: Option<f64> = None;
+    let mut last_sys = usize::MAX;
+    for (cell, cap) in cells.iter().zip(&caps) {
+        if cell.panel != current_panel {
+            if let Some(t) = table.take() {
+                t.print();
+            }
+            println!("\nFigure 13 panel: {}\n", cell.panel);
+            current_panel = cell.panel;
+            table = Some(Table::new(&["system", "gpus", "max tput (tok/s)", "speedup"]));
+            last_sys = usize::MAX;
+        }
+        let t = table.as_mut().expect("table exists");
+        let sys = &systems[cell.sys_index];
+        if cell.sys_index != last_sys {
+            base = None;
+            last_sys = cell.sys_index;
+        }
+        let Some(tput) = *cap else {
+            t.row(vec![sys.name.clone(), cell.gpus.to_string(), "-".into(), "-".into()]);
+            continue;
+        };
+        let speedup = match base {
+            Some(b) => tput / b,
+            None => {
+                base = Some(tput);
+                1.0
+            }
+        };
+        t.row(vec![
+            sys.name.clone(),
+            cell.gpus.to_string(),
+            f3(tput),
+            format!("{}x", f3(speedup)),
+        ]);
+        bars.push(Bar {
+            panel: cell.panel.into(),
+            system: sys.name.clone(),
+            gpus: cell.gpus,
+            max_throughput: tput,
+            speedup_vs_smallest: speedup,
+        });
+    }
+    if let Some(t) = table.take() {
+        t.print();
+    }
     write_json("fig13_scalability", &bars);
 }

@@ -15,13 +15,14 @@
 //! reproduced quantity. See EXPERIMENTS.md.
 
 use gllm_bench::output::{f3, Table};
-use gllm_bench::{sweep_rates, write_json};
+use gllm_bench::{jobs, sweep_rates, write_json};
 use gllm_metrics::SloSpec;
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::Dataset;
 
 fn main() {
+    let jobs = jobs();
     let systems = [SystemConfig::gllm(), SystemConfig::vllm()];
     let deployment =
         Deployment::new(ModelConfig::llama3_1_100b(), ClusterSpec::cross_node_a800(4));
@@ -38,7 +39,7 @@ fn main() {
 
     let mut all = Vec::new();
     for (name, dataset, slo, rates) in panels {
-        let pts = sweep_rates(&systems, &deployment, dataset, &rates, 1004, Some(slo));
+        let pts = sweep_rates(&systems, &deployment, dataset, &rates, 1004, Some(slo), jobs);
         println!("\nFigure 14 panel: {name}\n");
         let mut t = Table::new(&["system", "rate", "SLO attainment", "TTFT (ms)", "TPOT (ms)"]);
         for p in &pts {

@@ -14,10 +14,11 @@
 //! dominates on Azure, whose long prompts actually fill the cache.
 
 use gllm_bench::output::{f3, ms, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
-use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, SystemConfig};
 use gllm_workload::{Dataset, Trace};
 use serde::Serialize;
 
@@ -37,17 +38,28 @@ fn run_panel(
     dataset: Dataset,
     rate: f64,
     deployment: &Deployment,
+    jobs: usize,
     rows: &mut Vec<AblationRow>,
 ) {
     let trace = Trace::paper_online(dataset, rate, 1005);
-    let cfg = EngineConfig::default();
+    // This figure only reads the aggregate report and preemption counts —
+    // leave the per-iteration observers off.
+    let cfg = EngineConfig {
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
     println!("\nFigure 15 panel: {panel}\n");
     let mut t = Table::new(&[
         "system", "TTFT (ms)", "TPOT (ms)", "E2EL (s)", "tput (tok/s)", "preempt",
     ]);
+    let systems = SystemConfig::paper_ablation();
+    let job_list: Vec<ExperimentJob> = systems
+        .iter()
+        .map(|s| ExperimentJob { trace: &trace, system: s, deployment, cfg: &cfg, tweak: None })
+        .collect();
     let mut panel_rows = Vec::new();
-    for sys in SystemConfig::paper_ablation() {
-        let r = run_experiment(&trace, &sys, deployment, &cfg);
+    for (sys, r) in systems.iter().zip(run_experiments(&job_list, jobs)) {
         t.row(vec![
             sys.name.clone(),
             ms(r.report.mean_ttft_s),
@@ -91,12 +103,20 @@ fn run_panel(
 }
 
 fn main() {
+    let jobs = jobs();
     let deployment = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
     let mut rows = Vec::new();
     // WT-dominated regime: bursty short prompts, decode-heavy steady state.
-    run_panel("32B / 4xL20 / sharegpt @ 6 req/s", Dataset::ShareGpt, 6.0, &deployment, &mut rows);
+    run_panel(
+        "32B / 4xL20 / sharegpt @ 6 req/s",
+        Dataset::ShareGpt,
+        6.0,
+        &deployment,
+        jobs,
+        &mut rows,
+    );
     // UT-dominated regime: long Azure prompts keep the KV cache near
     // capacity.
-    run_panel("32B / 4xL20 / azure @ 3 req/s", Dataset::Azure, 3.0, &deployment, &mut rows);
+    run_panel("32B / 4xL20 / azure @ 3 req/s", Dataset::Azure, 3.0, &deployment, jobs, &mut rows);
     write_json("fig15_ablation", &rows);
 }

@@ -10,12 +10,13 @@
 //! saturated.
 
 use gllm_bench::output::{f3, Table};
-use gllm_bench::write_json;
+use gllm_bench::{jobs, write_json};
 use gllm_core::throttle::ThrottleConfig;
 use gllm_core::Tokens;
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_sim::engine::EngineConfig;
-use gllm_sim::{run_experiment, Deployment, SystemConfig};
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, RunResult, SystemConfig};
 use gllm_workload::{Dataset, Trace};
 use serde::Serialize;
 
@@ -38,9 +39,7 @@ struct Metrics {
     tput: f64,
 }
 
-fn run(cfg: ThrottleConfig, trace: &Trace, deployment: &Deployment) -> Metrics {
-    let sys = SystemConfig::gllm_with(cfg);
-    let r = run_experiment(trace, &sys, deployment, &EngineConfig::default());
+fn metrics(r: &RunResult) -> Metrics {
     Metrics {
         ttft: r.report.mean_ttft_s,
         tpot: r.report.mean_tpot_s,
@@ -49,15 +48,83 @@ fn run(cfg: ThrottleConfig, trace: &Trace, deployment: &Deployment) -> Metrics {
     }
 }
 
+/// Which workload regime a sweep point runs in.
+#[derive(Clone, Copy, PartialEq)]
+enum Regime {
+    ShareGpt,
+    Azure,
+}
+
 fn main() {
+    let jobs = jobs();
     let deployment = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
     // Bursty short-prompt regime (WT-side parameters bind here).
     let trace_sg = Trace::paper_online(Dataset::ShareGpt, 4.0, 1006);
     // Saturated long-prompt regime (prefill-rate and KV parameters bind).
     let trace_az = Trace::paper_online(Dataset::Azure, 3.0, 1006);
+    // Only the aggregate report is consumed — skip the observers.
+    let engine_cfg = EngineConfig {
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
 
-    let base_sg = run(ThrottleConfig::default(), &trace_sg, &deployment);
-    let base_az = run(ThrottleConfig::default(), &trace_az, &deployment);
+    // Declare the whole sweep up front, then fan all 20 simulations across
+    // the harness at once: (param, value, regime, throttle config).
+    let mut points: Vec<(&str, String, Regime, ThrottleConfig)> = vec![
+        ("base", "default".into(), Regime::ShareGpt, ThrottleConfig::default()),
+        ("base", "default".into(), Regime::Azure, ThrottleConfig::default()),
+    ];
+    for t in [1usize, 2, 4, 8, 16] {
+        points.push((
+            "#T",
+            t.to_string(),
+            Regime::ShareGpt,
+            ThrottleConfig { iter_t: t, ..Default::default() },
+        ));
+    }
+    for max_p in [512usize, 1024, 2048, 4096, 8192] {
+        points.push((
+            "#MaxP",
+            max_p.to_string(),
+            Regime::Azure,
+            ThrottleConfig { max_p: Tokens(max_p), ..Default::default() },
+        ));
+    }
+    for min_p in [8usize, 16, 32, 64] {
+        points.push((
+            "#MinP",
+            min_p.to_string(),
+            Regime::ShareGpt,
+            ThrottleConfig { min_p: Tokens(min_p), ..Default::default() },
+        ));
+    }
+    for kv_thresh in [0.0f64, 0.05, 0.1, 0.2] {
+        points.push((
+            "KV_thresh",
+            format!("{kv_thresh}"),
+            Regime::Azure,
+            ThrottleConfig { kv_thresh, ..Default::default() },
+        ));
+    }
+
+    let systems: Vec<SystemConfig> =
+        points.iter().map(|(_, _, _, tc)| SystemConfig::gllm_with(tc.clone())).collect();
+    let job_list: Vec<ExperimentJob> = points
+        .iter()
+        .zip(&systems)
+        .map(|(&(_, _, regime, _), sys)| ExperimentJob {
+            trace: if regime == Regime::ShareGpt { &trace_sg } else { &trace_az },
+            system: sys,
+            deployment: &deployment,
+            cfg: &engine_cfg,
+            tweak: None,
+        })
+        .collect();
+    let results = run_experiments(&job_list, jobs);
+
+    let base_sg = metrics(&results[0]);
+    let base_az = metrics(&results[1]);
     println!("Figure 16 — sensitivity, normalised to the defaults of each regime");
     println!(
         "  sharegpt@4 baseline: TTFT {:.0} ms, TPOT {:.1} ms, E2EL {:.2} s, tput {:.0} tok/s",
@@ -97,30 +164,12 @@ fn main() {
         rows.push(row);
     };
 
-    for t in [1usize, 2, 4, 8, 16] {
-        let m = run(ThrottleConfig { iter_t: t, ..Default::default() }, &trace_sg, &deployment);
-        record("#T", t.to_string(), "sharegpt@4", m, base_sg, &mut table);
-    }
-    for max_p in [512usize, 1024, 2048, 4096, 8192] {
-        let m = run(
-            ThrottleConfig { max_p: Tokens(max_p), ..Default::default() },
-            &trace_az,
-            &deployment,
-        );
-        record("#MaxP", max_p.to_string(), "azure@3", m, base_az, &mut table);
-    }
-    for min_p in [8usize, 16, 32, 64] {
-        let m = run(
-            ThrottleConfig { min_p: Tokens(min_p), ..Default::default() },
-            &trace_sg,
-            &deployment,
-        );
-        record("#MinP", min_p.to_string(), "sharegpt@4", m, base_sg, &mut table);
-    }
-    for kv_thresh in [0.0f64, 0.05, 0.1, 0.2] {
-        let m =
-            run(ThrottleConfig { kv_thresh, ..Default::default() }, &trace_az, &deployment);
-        record("KV_thresh", format!("{kv_thresh}"), "azure@3", m, base_az, &mut table);
+    for ((param, value, regime, _), r) in points.iter().zip(&results).skip(2) {
+        let (regime_name, base) = match regime {
+            Regime::ShareGpt => ("sharegpt@4", base_sg),
+            Regime::Azure => ("azure@3", base_az),
+        };
+        record(param, value.clone(), regime_name, metrics(r), base, &mut table);
     }
     table.print();
     println!("\npaper expectations: larger #T smooths batches (TPOT/E2EL improve, TTFT");

@@ -1,0 +1,58 @@
+//! Tiny flag parser shared by the bench binaries.
+//!
+//! Every figure binary accepts `--jobs N` to control how many worker
+//! threads the sweep harness fans simulations across; the default is one
+//! per available core. Zero external dependencies, same as everything else
+//! in the harness.
+
+/// Worker-thread count from `--jobs N` on the command line, defaulting to
+/// [`gllm_sim::sweep::default_jobs`] (one per available core).
+pub fn jobs() -> usize {
+    jobs_from(std::env::args().collect::<Vec<_>>().as_slice())
+}
+
+/// [`jobs`] over an explicit argument list (testable).
+pub fn jobs_from(args: &[String]) -> usize {
+    flag_value(args, "--jobs")
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(gllm_sim::sweep::default_jobs)
+}
+
+/// Whether `flag` appears anywhere on the command line.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The value following `flag`, if both are present.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn jobs_parses_and_clamps() {
+        assert_eq!(jobs_from(&argv(&["bin", "--jobs", "4"])), 4);
+        assert_eq!(jobs_from(&argv(&["bin", "--jobs", "0"])), 1);
+        assert_eq!(jobs_from(&argv(&["bin"])), gllm_sim::sweep::default_jobs());
+        // Malformed value falls back to the default.
+        assert_eq!(jobs_from(&argv(&["bin", "--jobs", "lots"])), gllm_sim::sweep::default_jobs());
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let a = argv(&["bin", "--quick", "--jobs", "2"]);
+        assert!(has_flag(&a, "--quick"));
+        assert!(!has_flag(&a, "--slow"));
+        assert_eq!(flag_value(&a, "--jobs"), Some("2"));
+        assert_eq!(flag_value(&a, "--quick"), Some("--jobs"));
+        assert_eq!(flag_value(&a, "--missing"), None);
+    }
+}

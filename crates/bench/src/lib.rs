@@ -6,8 +6,10 @@
 //! discrete-event simulator, prints the same rows/series the paper reports
 //! and drops a machine-readable JSON copy under `bench-results/`.
 
+pub mod cli;
 pub mod output;
 pub mod sweep;
 
+pub use cli::{flag_value, has_flag, jobs};
 pub use output::{write_json, Table};
-pub use sweep::{sweep_rates, RatePoint};
+pub use sweep::{sweep_rates, sweep_rates_with_cfg, RatePoint};

@@ -1,0 +1,70 @@
+//! The sweep harness's core guarantee, asserted end-to-end: fanning a
+//! figure's simulations across worker threads produces **byte-identical**
+//! serialized results to running them serially. One representative sweep
+//! per figure family — rate sweeps (Figs. 10/12/14), experiment grids
+//! (Figs. 15/16 and the ablations, including cost-model tweaks), and the
+//! capacity grid (Fig. 13).
+
+use gllm_bench::sweep_rates;
+use gllm_metrics::ServingReport;
+use gllm_model::{ClusterSpec, CostModel, ModelConfig};
+use gllm_sim::capacity::max_throughput;
+use gllm_sim::engine::EngineConfig;
+use gllm_sim::sweep::{parallel_map, run_experiments, ExperimentJob};
+use gllm_sim::{Deployment, SystemConfig};
+use gllm_workload::{Dataset, Trace};
+
+#[test]
+fn parallel_sweep_matches_serial_bitwise() {
+    // Family 1: rate sweep (the Fig. 10/12/14 shape).
+    let d = Deployment::new(ModelConfig::qwen2_5_14b(), ClusterSpec::intra_node_l20(4));
+    let systems = SystemConfig::paper_main();
+    let serial = sweep_rates(&systems, &d, Dataset::ShareGpt, &[1.0, 4.0], 1001, None, 1);
+    let fanned = sweep_rates(&systems, &d, Dataset::ShareGpt, &[1.0, 4.0], 1001, None, 8);
+    assert_eq!(
+        serde_json::to_vec(&serial).expect("serialise"),
+        serde_json::to_vec(&fanned).expect("serialise"),
+        "rate sweep diverged between 1 and 8 jobs"
+    );
+
+    // Family 2: experiment grid with a cost-model tweak (the ablation
+    // shape). Reports must serialize identically.
+    let trace = Trace::paper_online(Dataset::ShareGpt, 3.0, 31);
+    let cfg = EngineConfig {
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
+    let tweak = |cost: &mut CostModel| cost.expert_imbalance = 0.25;
+    let grid_systems = [SystemConfig::gllm(), SystemConfig::vllm()];
+    let job_list: Vec<ExperimentJob> = grid_systems
+        .iter()
+        .map(|s| ExperimentJob {
+            trace: &trace,
+            system: s,
+            deployment: &d,
+            cfg: &cfg,
+            tweak: Some(&tweak),
+        })
+        .collect();
+    let reports = |jobs: usize| -> Vec<u8> {
+        let rs: Vec<(String, ServingReport, u64)> = run_experiments(&job_list, jobs)
+            .into_iter()
+            .map(|r| (r.system.clone(), r.report, r.preemptions))
+            .collect();
+        serde_json::to_vec(&rs).expect("serialise")
+    };
+    assert_eq!(reports(1), reports(8), "ablation grid diverged between 1 and 8 jobs");
+
+    // Family 3: capacity grid (the Fig. 13 shape).
+    let cells = [1usize, 2, 4];
+    let caps = |jobs: usize| -> Vec<u8> {
+        let grid: Vec<(usize, f64)> = parallel_map(&cells, jobs, |_, &g| {
+            let dep = Deployment::new(ModelConfig::qwen2_5_14b(), ClusterSpec::intra_node_l20(g));
+            let cap = max_throughput(&SystemConfig::gllm(), &dep, Dataset::ShareGpt, 2.0, 77);
+            (g, cap.max_throughput_tok_s)
+        });
+        serde_json::to_vec(&grid).expect("serialise")
+    };
+    assert_eq!(caps(1), caps(8), "capacity grid diverged between 1 and 8 jobs");
+}

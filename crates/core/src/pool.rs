@@ -58,6 +58,18 @@ pub struct RequestPool {
     /// to be scheduled while earlier chunks are still in flight in later
     /// pipeline stages.
     cpp: bool,
+    /// Use the optimized scheduler data paths ([`RequestPool::view`]'s
+    /// direct map walk, the O(1) live count, single-probe KV admission).
+    /// Bit-identical to the legacy paths; the switch exists so the perf
+    /// harness can time the unoptimized baseline.
+    fast: bool,
+    /// Running count of unfinished sequences (maintained on every
+    /// transition so `unfinished_count` is O(1) on the fast path).
+    unfinished: usize,
+    /// Whether `order` is ascending by id. True for the sim plane (trace
+    /// ids arrive in order), which lets `view` walk `seqs` directly
+    /// instead of doing one map lookup per id.
+    order_sorted: bool,
 }
 
 impl RequestPool {
@@ -68,6 +80,9 @@ impl RequestPool {
             order: Vec::new(),
             max_seqs_per_batch,
             cpp: false,
+            fast: true,
+            unfinished: 0,
+            order_sorted: true,
         }
     }
 
@@ -78,11 +93,29 @@ impl RequestPool {
         self
     }
 
+    /// Select between the optimized and the legacy scheduler data paths.
+    /// Both produce bit-identical schedules; `false` replays the
+    /// unoptimized baseline for the perf harness.
+    pub fn with_fast_path(mut self, fast: bool) -> Self {
+        self.fast = fast;
+        self
+    }
+
+    /// Whether the optimized data paths are active (admission keys its
+    /// single-probe KV append off this).
+    pub fn fast_path(&self) -> bool {
+        self.fast
+    }
+
     /// Admit a new request.
     pub fn add(&mut self, id: u64, prompt_len: usize, max_output: usize) {
         let prev = self.seqs.insert(id, Sequence::new(id, prompt_len, max_output));
         assert!(prev.is_none(), "duplicate request id {id}");
+        if self.order.last().is_some_and(|&last| id < last) {
+            self.order_sorted = false;
+        }
         self.order.push(id);
+        self.unfinished += 1;
     }
 
     /// Admit a sequence that is already decoding: `context_len` KV tokens
@@ -110,7 +143,11 @@ impl RequestPool {
         s.phase = Phase::Decoding;
         let prev = self.seqs.insert(id, s);
         assert!(prev.is_none(), "duplicate request id {id}");
+        if self.order.last().is_some_and(|&last| id < last) {
+            self.order_sorted = false;
+        }
         self.order.push(id);
+        self.unfinished += 1;
     }
 
     /// Borrow a sequence.
@@ -118,9 +155,18 @@ impl RequestPool {
         self.seqs.get(&id)
     }
 
-    /// Number of unfinished sequences.
+    /// Number of unfinished sequences. O(1) on the fast path (a running
+    /// counter); a full scan on the legacy path.
     pub fn unfinished_count(&self) -> usize {
-        self.seqs.values().filter(|s| !s.is_finished()).count()
+        if self.fast {
+            debug_assert_eq!(
+                self.unfinished,
+                self.seqs.values().filter(|s| !s.is_finished()).count()
+            );
+            self.unfinished
+        } else {
+            self.seqs.values().filter(|s| !s.is_finished()).count()
+        }
     }
 
     /// Whether any sequence still needs work (including in-flight ones).
@@ -142,6 +188,53 @@ impl RequestPool {
         let mut decodable = Vec::new();
         let mut total_decode = 0usize;
         let mut in_flight = 0usize;
+        if self.fast && self.order_sorted {
+            // Fast path: `order` is ascending by id, so walking the map
+            // directly visits the same sequences in the same (FCFS) order
+            // without one O(log n) lookup per id. Pre-sizing absorbs the
+            // growth reallocations — the view is rebuilt on every schedule
+            // attempt, which is the simulator's hottest loop.
+            waiting.reserve(self.seqs.len());
+            decodable.reserve(self.seqs.len());
+            for s in self.seqs.values() {
+                if s.is_finished() {
+                    continue;
+                }
+                if s.is_in_flight() {
+                    in_flight += 1;
+                }
+                match s.phase {
+                    Phase::Waiting if s.prefill_schedulable(self.cpp) => {
+                        waiting.push(WaitingSeq {
+                            seq: s.id,
+                            remaining_prefill: Tokens(s.remaining_prefill()),
+                            context_before: Tokens(s.context_len()),
+                        })
+                    }
+                    Phase::Decoding => {
+                        total_decode += 1;
+                        if s.decode_schedulable() {
+                            decodable.push(DecodableSeq {
+                                seq: s.id,
+                                context_before: Tokens(s.context_len()),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return ScheduleView {
+                waiting,
+                decodable,
+                total_decode_seqs: total_decode,
+                kv_free_rate,
+                kv_free_tokens,
+                block_size,
+                in_flight_seqs: in_flight,
+                pipeline_depth,
+                max_seqs_per_batch: self.max_seqs_per_batch,
+            };
+        }
         for &id in &self.order {
             let Some(s) = self.seqs.get(&id) else { continue };
             if s.is_finished() {
@@ -240,6 +333,7 @@ impl RequestPool {
             let emitted = s.complete_decode();
             apply(d.seq, emitted, &self.seqs);
         }
+        self.unfinished -= outcome.finished.len();
         self.prune_finished();
         outcome
     }
@@ -300,6 +394,9 @@ impl RequestPool {
         // lint:allow(panic-freedom): documented contract — abort() is only called with live ids
         let s = self.seqs.get(&id).expect("aborting unknown sequence");
         assert!(!s.is_in_flight(), "cannot abort an in-flight sequence");
+        if !s.is_finished() {
+            self.unfinished -= 1;
+        }
         self.seqs.remove(&id);
         self.order.retain(|&x| x != id);
     }
@@ -505,6 +602,62 @@ mod tests {
             tokens += pool.complete(&plan).emitted.len();
         }
         (iterations, tokens)
+    }
+
+    #[test]
+    fn fast_view_matches_legacy_for_sorted_and_unsorted_arrivals() {
+        // Sorted ids hit the direct map walk; out-of-order ids (5 before 3)
+        // must fall back to the order-vector walk so FCFS is preserved.
+        // Either way the view must equal the legacy pool's bit for bit.
+        for ids in [vec![1u64, 2, 3, 4], vec![5u64, 3, 9, 1]] {
+            let build = |fast: bool| {
+                let mut pool = RequestPool::new(1024).with_fast_path(fast);
+                for &id in &ids {
+                    pool.add(id, 20 + id as usize, 4);
+                }
+                // Move the first arrival into decode so the view has both
+                // waiting and decodable entries.
+                let first = ids[0];
+                let plan = BatchPlan {
+                    prefill: vec![chunk(first, 20 + first as usize, 0, true)],
+                    decode: vec![],
+                };
+                pool.commit(&plan);
+                pool.complete(&plan);
+                pool
+            };
+            let fast = build(true);
+            let legacy = build(false);
+            let (vf, vl) = (view(&fast, 1000), view(&legacy, 1000));
+            assert_eq!(vf.waiting, vl.waiting, "ids {ids:?}");
+            assert_eq!(vf.decodable, vl.decodable, "ids {ids:?}");
+            assert_eq!(vf.total_decode_seqs, vl.total_decode_seqs);
+            assert_eq!(vf.in_flight_seqs, vl.in_flight_seqs);
+            // FCFS: waiting is in arrival order, not id order.
+            let expect: Vec<u64> = ids[1..].to_vec();
+            let got: Vec<u64> = vf.waiting.iter().map(|w| w.seq).collect();
+            assert_eq!(got, expect, "arrival order lost");
+        }
+    }
+
+    #[test]
+    fn unfinished_counter_tracks_the_full_scan() {
+        let mut pool = RequestPool::new(1024);
+        for id in 0..5u64 {
+            pool.add(id, 8, 1);
+        }
+        assert_eq!(pool.unfinished_count(), 5);
+        // Finishing a request (prefill emits its only token) decrements.
+        let plan = BatchPlan { prefill: vec![chunk(0, 8, 0, true)], decode: vec![] };
+        pool.commit(&plan);
+        let out = pool.complete(&plan);
+        assert_eq!(out.finished, vec![0]);
+        assert_eq!(pool.unfinished_count(), 4);
+        pool.abort(4);
+        assert_eq!(pool.unfinished_count(), 3);
+        // The counter agrees with the legacy scan.
+        let legacy = pool.clone().with_fast_path(false);
+        assert_eq!(legacy.unfinished_count(), 3);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use gllm_frontend::ApiServer;
 use gllm_model::{ClusterSpec, ModelConfig};
 use gllm_runtime::RuntimeConfig;
 use gllm_sim::engine::EngineConfig;
+use gllm_sim::sweep::{run_experiments, ExperimentJob};
 use gllm_sim::{run_experiment, Deployment, SystemConfig};
 use gllm_workload::{percentile, ArrivalProcess, Dataset, Trace};
 
@@ -39,8 +40,8 @@ USAGE:
                      [--cpp] [--kv-blocks N] [--seed S]
   gllm simulate      [--model 14b|32b|100b] [--cluster l20|a100|a800] [--gpus N]
                      [--system gllm|vllm|sglang|tdpipe|orca|ft] [--dataset sharegpt|azure]
-                     [--rate R] [--seed S] [--trace-file azure.csv]
-                     [--trace-out trace.json] [--no-audit]
+                     [--rate R | --rate R1,R2,...] [--jobs N] [--seed S]
+                     [--trace-file azure.csv] [--trace-out trace.json] [--no-audit]
   gllm bench-serving [--host H] [--port N] [--rate R] [--num-prompts N]
                      [--input-len L] [--max-tokens M] [--seed S]
 ";
@@ -131,10 +132,26 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
         "azure" => Dataset::Azure,
         other => return Err(format!("unknown dataset {other:?}")),
     };
-    let rate: f64 = get(&flags, "rate", 2.0)?;
+    // `--rate` accepts a single rate or a comma-separated list; multiple
+    // rates become a sweep fanned across `--jobs` worker threads.
+    let rates: Vec<f64> = match flags.get("rate") {
+        Some(s) => s
+            .split(',')
+            .map(|r| r.trim().parse().map_err(|_| format!("bad value for --rate: {r:?}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![2.0],
+    };
+    let jobs: usize = get(&flags, "jobs", gllm_sim::sweep::default_jobs())?;
     let seed: u64 = get(&flags, "seed", 0)?;
 
     let deployment = Deployment::new(model.clone(), cluster);
+    if rates.len() > 1 {
+        if flags.contains_key("trace-file") {
+            return Err("--trace-file cannot be combined with a --rate list".into());
+        }
+        return simulate_rate_sweep(&rates, jobs, seed, dataset, &system, &deployment, &flags);
+    }
+    let rate = rates[0];
     // A real trace file (Azure CSV shape) overrides the synthetic dataset.
     let trace = match flags.get("trace-file") {
         Some(path) => {
@@ -177,6 +194,59 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
         std::fs::write(&path, r.pipeline_trace.to_chrome_trace_string())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("trace:       {} events written to {path}", r.pipeline_trace.events().len());
+    }
+    Ok(())
+}
+
+/// Multi-rate `gllm simulate`: one simulation per rate, fanned across the
+/// deterministic sweep harness, reported as a compact table.
+fn simulate_rate_sweep(
+    rates: &[f64],
+    jobs: usize,
+    seed: u64,
+    dataset: Dataset,
+    system: &SystemConfig,
+    deployment: &Deployment,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    let cfg = EngineConfig {
+        audit: !flags.contains_key("no-audit"),
+        record_token_trace: false,
+        record_utilization: false,
+        ..EngineConfig::default()
+    };
+    let traces: Vec<Trace> =
+        rates.iter().map(|&rate| Trace::paper_online(dataset, rate, seed)).collect();
+    let job_list: Vec<ExperimentJob> = traces
+        .iter()
+        .map(|trace| ExperimentJob { trace, system, deployment, cfg: &cfg, tweak: None })
+        .collect();
+    println!(
+        "simulating {} on {} x{} | {} @ {} rates | {} jobs",
+        deployment.model.name,
+        deployment.cluster.gpu.name,
+        deployment.cluster.num_gpus,
+        dataset.name(),
+        rates.len(),
+        jobs
+    );
+    let results = run_experiments(&job_list, jobs);
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>9}  {:>12}  {:>9}  {:>8}",
+        "rate", "TTFT(ms)", "TPOT(ms)", "E2EL(s)", "tput(tok/s)", "finished", "preempt"
+    );
+    for (rate, r) in rates.iter().zip(&results) {
+        println!(
+            "{:>8}  {:>9.1}  {:>9.1}  {:>9.2}  {:>12.0}  {:>4}/{:<4}  {:>8}",
+            rate,
+            r.report.mean_ttft_s * 1e3,
+            r.report.mean_tpot_s * 1e3,
+            r.report.mean_e2el_s,
+            r.report.throughput_tok_s,
+            r.report.finished_requests,
+            r.report.total_requests,
+            r.preemptions
+        );
     }
     Ok(())
 }

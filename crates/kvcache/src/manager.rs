@@ -161,7 +161,26 @@ impl KvCacheManager {
     /// creating the page table on first use. Atomic: on failure nothing is
     /// allocated.
     pub fn append(&mut self, seq: SeqId, tokens: Tokens) -> Result<(), KvError> {
-        let needed = self.blocks_needed(seq, tokens);
+        // Single map probe on the hot path: admission calls this once per
+        // decode slot per micro-batch, so the existing-sequence branch must
+        // not pay a second `entry` lookup after `blocks_needed`.
+        if let Some(table) = self.tables.get_mut(&seq) {
+            let needed = table.blocks_needed_for(tokens);
+            if needed > self.allocator.num_free() {
+                return Err(KvError::OutOfBlocks {
+                    requested: needed,
+                    available: self.allocator.num_free(),
+                });
+            }
+            let new_blocks = self
+                .allocator
+                .allocate_many(needed)
+                .expect("free-count checked above"); // lint:allow(panic-freedom): free count verified on the previous line, allocation cannot fail
+            table.push_blocks(new_blocks);
+            table.fill(tokens);
+            return Ok(());
+        }
+        let needed = tokens.to_blocks(self.block_size);
         if needed > self.allocator.num_free() {
             return Err(KvError::OutOfBlocks {
                 requested: needed,
@@ -172,12 +191,10 @@ impl KvCacheManager {
             .allocator
             .allocate_many(needed)
             .expect("free-count checked above"); // lint:allow(panic-freedom): free count verified on the previous line, allocation cannot fail
-        let table = self
-            .tables
-            .entry(seq)
-            .or_insert_with(|| PageTable::new(self.block_size));
+        let mut table = PageTable::new(self.block_size);
         table.push_blocks(new_blocks);
         table.fill(tokens);
+        self.tables.insert(seq, table);
         Ok(())
     }
 

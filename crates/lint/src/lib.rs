@@ -91,7 +91,7 @@ impl Check {
                 "no unwrap()/expect()/panic! family/literal-index slicing in runtime+core non-test code"
             }
             Check::SimDeterminism => {
-                "no Instant::now/SystemTime/thread_rng/HashMap/HashSet in sim, core and metrics"
+                "no Instant::now/SystemTime/thread_rng/HashMap/HashSet/thread::spawn in sim, core and metrics (threads only via gllm_sim::sweep)"
             }
             Check::LockDiscipline => {
                 "no MutexGuard live across channel send(/recv( or thread join() in the runtime"
@@ -585,22 +585,35 @@ fn find_literal_index(code: &str) -> Option<String> {
     None
 }
 
-/// sim-determinism: wall clocks, OS entropy, hash-ordered containers.
+/// sim-determinism: wall clocks, OS entropy, hash-ordered containers,
+/// unsanctioned threading.
 fn check_sim_determinism(path: &Path, lines: &[SourceLine]) -> Vec<Violation> {
-    const BANNED: [(&str, &str); 6] = [
+    const BANNED: [(&str, &str); 7] = [
         ("Instant::now", "wall-clock time is nondeterministic; thread virtual time through"),
         ("SystemTime", "system time is nondeterministic; thread virtual time through"),
         ("thread_rng", "OS entropy breaks replay; use a seeded StdRng"),
         ("from_entropy", "OS entropy breaks replay; use seed_from_u64"),
         ("HashMap", "iteration order is nondeterministic; use BTreeMap"),
         ("HashSet", "iteration order is nondeterministic; use BTreeSet"),
+        (
+            "thread::spawn",
+            "thread scheduling is nondeterministic; fan out via gllm_sim::sweep (the sanctioned index-merged pool)",
+        ),
     ];
+    // The sweep module is the one sanctioned home for threads in the
+    // simulation plane: workers merge results by job index, so its output
+    // is scheduling-independent by construction.
+    let sanctioned_threads =
+        path.to_string_lossy().replace('\\', "/").ends_with("crates/sim/src/sweep.rs");
     let mut out = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
         for (needle, why) in BANNED {
+            if needle == "thread::spawn" && sanctioned_threads {
+                continue;
+            }
             if line.code.contains(needle) {
                 out.push(Violation {
                     check: Check::SimDeterminism,

@@ -1,4 +1,4 @@
-//! Fixture: sim-determinism. Expected violations: 4.
+//! Fixture: sim-determinism. Expected violations: 5.
 
 use std::collections::HashMap; // violation: HashMap
 
@@ -6,5 +6,7 @@ pub fn step() -> u128 {
     let t = std::time::Instant::now(); // violation: Instant::now
     let mut m: HashMap<u64, u64> = HashMap::new(); // violation: HashMap (once per line)
     m.insert(0, rand::thread_rng().gen()); // violation: thread_rng
+    let h = std::thread::spawn(|| 1u64); // violation: thread::spawn
+    h.join().ok();
     t.elapsed().as_nanos()
 }

@@ -48,8 +48,8 @@ fn panic_freedom_fixtures() {
 #[test]
 fn sim_determinism_fixtures() {
     let bad = lint_fixture("sim_determinism_bad.rs", &[Check::SimDeterminism]);
-    assert_eq!(bad.len(), 4, "{bad:#?}");
-    for needle in ["Instant::now", "HashMap", "thread_rng"] {
+    assert_eq!(bad.len(), 5, "{bad:#?}");
+    for needle in ["Instant::now", "HashMap", "thread_rng", "thread::spawn"] {
         assert!(
             bad.iter().any(|v| v.message.contains(needle)),
             "missing `{needle}` finding in {bad:#?}"
@@ -58,6 +58,26 @@ fn sim_determinism_fixtures() {
 
     let good = lint_fixture("sim_determinism_good.rs", &[Check::SimDeterminism]);
     assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn thread_spawn_is_sanctioned_only_in_the_sweep_module() {
+    let src = "pub fn fan() {\n    let h = std::thread::spawn(|| 1u64);\n    h.join().ok();\n}\n";
+    // Anywhere else in the sim plane: flagged.
+    let elsewhere = lint_rust_source(
+        Path::new("crates/sim/src/engine.rs"),
+        src,
+        &[Check::SimDeterminism],
+    );
+    assert_eq!(elsewhere.len(), 1, "{elsewhere:#?}");
+    assert!(elsewhere[0].message.contains("thread::spawn"));
+    // In the sanctioned index-merged worker pool: allowed.
+    let sanctioned = lint_rust_source(
+        Path::new("crates/sim/src/sweep.rs"),
+        src,
+        &[Check::SimDeterminism],
+    );
+    assert!(sanctioned.is_empty(), "{sanctioned:#?}");
 }
 
 #[test]

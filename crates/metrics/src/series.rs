@@ -37,6 +37,12 @@ impl TokenTrace {
         Self::default()
     }
 
+    /// An empty trace with room for `capacity` points, so recording inside
+    /// the simulator's hot loop does not reallocate.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { points: Vec::with_capacity(capacity) }
+    }
+
     /// Record the next scheduled batch.
     pub fn record(&mut self, prefill: usize, decode: usize) {
         let iteration = self.points.len();
@@ -96,6 +102,11 @@ impl BusyTracker {
     /// A tracker over `num_gpus` devices.
     pub fn new(num_gpus: usize) -> Self {
         Self { intervals: Vec::new(), num_gpus }
+    }
+
+    /// A tracker over `num_gpus` devices pre-sized for `capacity` intervals.
+    pub fn with_capacity(num_gpus: usize, capacity: usize) -> Self {
+        Self { intervals: Vec::with_capacity(capacity), num_gpus }
     }
 
     /// Record that `gpu` was busy on `[start_s, end_s)`.

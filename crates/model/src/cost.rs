@@ -303,6 +303,65 @@ impl CostModel {
     }
 }
 
+/// Small deterministic memo of [`CostModel::stage_forward_time`] results
+/// for **one fixed `(cost model, batch)` pair**.
+///
+/// A micro-batch's composition is frozen when it is scheduled, yet the
+/// engine re-prices it once per pipeline stage. Under an even layer
+/// partition most stages share the same `(layers, lm_head_tokens)` key, so
+/// a depth-`D` traversal collapses from `D` full roofline evaluations
+/// (each `O(chunks)`) to the number of *distinct* keys — typically 2 (the
+/// interior stages plus the LM-head stage).
+///
+/// Determinism/bit-identity: a hit returns the exact `f64` produced by the
+/// first (and only) evaluation of `stage_forward_time` for that key, so a
+/// memoized run is bit-identical to an unmemoized one by construction.
+/// The cache is a linear-scanned vec: entry counts are tiny (≤ pipeline
+/// depth) and insertion order is deterministic.
+///
+/// Invariant: a cache must never be shared across batches or cost models —
+/// the key deliberately omits both. The engine stores one per in-flight
+/// micro-batch.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimeCache {
+    entries: Vec<((usize, usize), f64)>,
+}
+
+impl StageTimeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`CostModel::stage_forward_time`] memoized on
+    /// `(layers, lm_head_tokens)`.
+    pub fn stage_forward_time(
+        &mut self,
+        cost: &CostModel,
+        layers: usize,
+        batch: &BatchWorkload,
+        lm_head_tokens: usize,
+    ) -> f64 {
+        let key = (layers, lm_head_tokens);
+        if let Some(&(_, t)) = self.entries.iter().find(|&&(k, _)| k == key) {
+            return t;
+        }
+        let t = cost.stage_forward_time(layers, batch, lm_head_tokens);
+        self.entries.push((key, t));
+        t
+    }
+
+    /// Number of distinct keys evaluated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,5 +513,67 @@ mod tests {
         let cm = model_32b_on_l20();
         let b = decode_batch(4, 128);
         assert!(cm.flops(16, &b, 4) > cm.flops(16, &b, 0));
+    }
+
+    /// Deterministic xorshift64* for the randomized shape sweep below (the
+    /// model crate has no rand dependency).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[test]
+    fn memoized_stage_times_are_bit_identical_across_random_shapes() {
+        // Satellite test (b): the memoized path must return *identical*
+        // times to the unmemoized path — compared via to_bits, not an
+        // epsilon — across a randomized sweep of batch shapes, layer
+        // counts, lm-head token counts and model variants (attention term
+        // on/off, expert imbalance on/off).
+        let mut rng = 0x5EED_u64;
+        let base = model_32b_on_l20();
+        let variants = [
+            base.clone(),
+            base.clone().without_attention_term(),
+            base.clone().with_expert_imbalance(0.25),
+        ];
+        for round in 0..200 {
+            let cm = &variants[round % variants.len()];
+            let n_prefill = (xorshift(&mut rng) % 4) as usize;
+            let n_decode = (xorshift(&mut rng) % 64) as usize;
+            let batch = BatchWorkload {
+                prefill: (0..n_prefill)
+                    .map(|_| {
+                        SequenceChunk::prefill(
+                            1 + (xorshift(&mut rng) % 2048) as usize,
+                            (xorshift(&mut rng) % 8192) as usize,
+                        )
+                    })
+                    .collect(),
+                decode: (0..n_decode)
+                    .map(|_| SequenceChunk::decode(1 + (xorshift(&mut rng) % 4096) as usize))
+                    .collect(),
+            };
+            let mut cache = StageTimeCache::new();
+            // Query each key twice: first populates, second must hit.
+            for layers in [1usize, 7, 16, 16, 17] {
+                for lm_head in [0usize, batch.decode.len(), 0] {
+                    let direct = cm.stage_forward_time(layers, &batch, lm_head);
+                    let memo = cache.stage_forward_time(cm, layers, &batch, lm_head);
+                    assert_eq!(
+                        direct.to_bits(),
+                        memo.to_bits(),
+                        "round {round}: layers={layers} lm_head={lm_head} \
+                         direct={direct} memo={memo}"
+                    );
+                }
+            }
+            // 5 distinct layer counts × up to 2 distinct lm_head values.
+            assert!(cache.len() <= 8, "cache grew past its key space: {}", cache.len());
+            assert!(!cache.is_empty());
+        }
     }
 }

@@ -30,6 +30,6 @@ pub mod partition;
 
 pub use comm::LinkSpec;
 pub use config::ModelConfig;
-pub use cost::{BatchWorkload, CostModel, SequenceChunk};
+pub use cost::{BatchWorkload, CostModel, SequenceChunk, StageTimeCache};
 pub use gpu::GpuSpec;
 pub use partition::{ClusterSpec, PipelinePartition, StageResources};

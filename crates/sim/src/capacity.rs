@@ -35,6 +35,19 @@ pub fn max_throughput(
         record_utilization: false,
         ..EngineConfig::default()
     };
+    max_throughput_with(system, deployment, dataset, base_rate, seed, &cfg)
+}
+
+/// [`max_throughput`] under an explicit engine config (the perf harness
+/// uses this to time the search with hot-path optimizations disabled).
+pub fn max_throughput_with(
+    system: &SystemConfig,
+    deployment: &Deployment,
+    dataset: Dataset,
+    base_rate: f64,
+    seed: u64,
+    cfg: &EngineConfig,
+) -> CapacityResult {
     let plateau_tol = 0.03;
     let mut best = CapacityResult { max_throughput_tok_s: 0.0, at_rate: base_rate };
     let mut rate = base_rate;
@@ -45,7 +58,7 @@ pub fn max_throughput(
     for _ in 0..8 {
         let trace =
             Trace::synthesize(dataset, ArrivalProcess::Poisson { rate }, window_s, 0, seed);
-        let result = run_experiment(&trace, system, deployment, &cfg);
+        let result = run_experiment(&trace, system, deployment, cfg);
         let tput = result.report.throughput_tok_s;
         if tput_improves(tput, best.max_throughput_tok_s, plateau_tol) {
             best = CapacityResult { max_throughput_tok_s: tput, at_rate: rate };

@@ -26,7 +26,9 @@ use gllm_metrics::{
     AuditReport, BusyTracker, InvariantAuditor, KvObservation, MetricsRecorder, PipelineTrace,
     PlanCaps, TokenTrace,
 };
-use gllm_model::{BatchWorkload, CostModel, LinkSpec, PipelinePartition, SequenceChunk};
+use gllm_model::{
+    BatchWorkload, CostModel, LinkSpec, PipelinePartition, SequenceChunk, StageTimeCache,
+};
 use gllm_workload::Trace;
 
 use crate::event::{Event, EventQueue};
@@ -61,6 +63,19 @@ pub struct EngineConfig {
     /// stage / comm / complete / preempt) for Chrome-trace export. Off by
     /// default: stage-level spans are bulky on long runs.
     pub record_pipeline_trace: bool,
+    /// Memoize per-(layers, lm-head) stage times and the activation
+    /// transfer time within each in-flight micro-batch
+    /// ([`gllm_model::StageTimeCache`]). Bit-identical to the direct path
+    /// by construction (a hit replays the first evaluation's exact result);
+    /// the switch exists so the perf harness can time the unmemoized
+    /// baseline and tests can assert the equivalence end-to-end.
+    pub memoize_costs: bool,
+    /// Use the pool's optimized scheduler data paths (direct map-walk
+    /// views, O(1) live count, single-probe KV admission). Bit-identical
+    /// to the legacy paths by construction; like `memoize_costs`, the
+    /// switch exists so the perf harness can time the unoptimized baseline
+    /// and tests can assert the equivalence end-to-end.
+    pub fast_scheduler: bool,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +88,8 @@ impl Default for EngineConfig {
             stage_slowdown: Vec::new(),
             audit: true,
             record_pipeline_trace: false,
+            memoize_costs: true,
+            fast_scheduler: true,
         }
     }
 }
@@ -136,6 +153,26 @@ impl ExecutionModel {
         }
     }
 
+    /// [`Self::stage_time`] memoized through `cache`. The cache must be
+    /// dedicated to this `(execution model, batch)` pair — the engine keeps
+    /// one per in-flight micro-batch. Tensor execution has a single stage
+    /// (one evaluation per batch), so it bypasses the cache.
+    pub fn stage_time_memo(
+        &self,
+        stage: usize,
+        batch: &BatchWorkload,
+        sampled: usize,
+        cache: &mut StageTimeCache,
+    ) -> f64 {
+        match self {
+            ExecutionModel::Pipeline { cost, partition, .. } => {
+                let lm_head = if stage + 1 == partition.depth() { sampled } else { 0 };
+                cache.stage_forward_time(cost, partition.layers_of(stage), batch, lm_head)
+            }
+            ExecutionModel::Tensor { .. } => self.stage_time(stage, batch, sampled),
+        }
+    }
+
     /// Activation-transfer time between consecutive stages.
     pub fn comm_time(&self, batch: &BatchWorkload) -> f64 {
         match self {
@@ -162,6 +199,12 @@ struct InFlightBatch {
     workload: BatchWorkload,
     sampled: usize,
     num_seqs: usize,
+    /// Per-batch stage-time memo (the workload is frozen at schedule time,
+    /// so stages sharing a (layers, lm-head) key share one evaluation).
+    stage_times: StageTimeCache,
+    /// Activation-transfer time, evaluated once on the first inter-stage
+    /// hop (identical for every hop of this batch).
+    comm_s: Option<f64>,
 }
 
 /// Raw results of one simulation.
@@ -200,7 +243,7 @@ pub struct SimEngine<'a> {
     policy: &'a dyn SchedulePolicy,
     exec: ExecutionModel,
     runtime: RuntimeModel,
-    cfg: EngineConfig,
+    cfg: &'a EngineConfig,
 
     clock: f64,
     events: EventQueue,
@@ -234,7 +277,7 @@ impl<'a> SimEngine<'a> {
         kv_blocks: usize,
         block_size: usize,
         max_seqs_per_batch: usize,
-        cfg: EngineConfig,
+        cfg: &'a EngineConfig,
     ) -> Self {
         let stages = exec.stage_count();
         let num_gpus = exec.num_gpus();
@@ -245,6 +288,23 @@ impl<'a> SimEngine<'a> {
                 InvariantAuditor::new(Blocks(kv_blocks), Tokens(block_size), exec.scheduler_depth())
             });
         let ptrace = PipelineTrace::new(cfg.record_pipeline_trace);
+        // Pre-size the hot buffers: the queue is seeded with one arrival
+        // per request (plus a small in-flight margin), and each request
+        // contributes roughly one token-trace point / stage interval per
+        // output token — a cheap lower bound that absorbs the early
+        // doubling reallocations.
+        let n = trace.requests.len();
+        let events = EventQueue::with_capacity(n + 2 * stages + 8);
+        let token_trace = if cfg.record_token_trace {
+            TokenTrace::with_capacity(2 * n)
+        } else {
+            TokenTrace::new()
+        };
+        let busy = if cfg.record_utilization {
+            BusyTracker::with_capacity(num_gpus, 2 * n * stages)
+        } else {
+            BusyTracker::new(num_gpus)
+        };
         Self {
             trace,
             policy,
@@ -252,8 +312,10 @@ impl<'a> SimEngine<'a> {
             runtime,
             cfg,
             clock: 0.0,
-            events: EventQueue::new(),
-            pool: RequestPool::new(max_seqs_per_batch).with_cpp(enable_cpp),
+            events,
+            pool: RequestPool::new(max_seqs_per_batch)
+                .with_cpp(enable_cpp)
+                .with_fast_path(cfg.fast_scheduler),
             kv: KvCacheManager::new(Blocks(kv_blocks), Tokens(block_size)),
             stage_busy: vec![None; stages],
             stage_queue: vec![VecDeque::new(); stages],
@@ -261,8 +323,8 @@ impl<'a> SimEngine<'a> {
             next_batch_id: 0,
             in_flight: 0,
             recorder: MetricsRecorder::new(),
-            token_trace: TokenTrace::new(),
-            busy: BusyTracker::new(num_gpus),
+            token_trace,
+            busy,
             ptrace,
             auditor,
             sched_iterations: 0,
@@ -345,8 +407,19 @@ impl<'a> SimEngine<'a> {
         }
         if stage + 1 < self.exec.stage_count() {
             let comm = {
-                let b = &self.batches[&batch];
-                self.exec.comm_time(&b.workload)
+                let b = self.batches.get_mut(&batch).expect("unknown batch in transit");
+                if self.cfg.memoize_costs {
+                    match b.comm_s {
+                        Some(c) => c,
+                        None => {
+                            let c = self.exec.comm_time(&b.workload);
+                            b.comm_s = Some(c);
+                            c
+                        }
+                    }
+                } else {
+                    self.exec.comm_time(&b.workload)
+                }
             };
             self.ptrace.comm(self.clock, self.clock + comm, batch, stage);
             self.events
@@ -362,10 +435,14 @@ impl<'a> SimEngine<'a> {
 
     fn start_stage(&mut self, batch: u64, stage: usize, t: f64) {
         let (dur, gpus) = {
-            let b = &self.batches[&batch];
+            let b = self.batches.get_mut(&batch).expect("unknown batch started");
             let slow = self.cfg.stage_slowdown.get(stage).copied().unwrap_or(1.0);
-            let dur = self.exec.stage_time(stage, &b.workload, b.sampled) * slow
-                + self.runtime.stage_overhead(b.num_seqs);
+            let raw = if self.cfg.memoize_costs {
+                self.exec.stage_time_memo(stage, &b.workload, b.sampled, &mut b.stage_times)
+            } else {
+                self.exec.stage_time(stage, &b.workload, b.sampled)
+            };
+            let dur = raw * slow + self.runtime.stage_overhead(b.num_seqs);
             (dur, self.exec.busy_gpus(stage))
         };
         self.stage_busy[stage] = Some(batch);
@@ -488,7 +565,17 @@ impl<'a> SimEngine<'a> {
             let num_seqs = plan.num_seqs();
             let id = self.next_batch_id;
             self.next_batch_id += 1;
-            self.batches.insert(id, InFlightBatch { plan, workload, sampled, num_seqs });
+            self.batches.insert(
+                id,
+                InFlightBatch {
+                    plan,
+                    workload,
+                    sampled,
+                    num_seqs,
+                    stage_times: StageTimeCache::new(),
+                    comm_s: None,
+                },
+            );
             self.in_flight += 1;
             self.start_stage(id, 0, self.clock + self.runtime.sched_overhead_s);
         }
@@ -556,7 +643,7 @@ mod tests {
             kv_blocks,
             16,
             1024,
-            EngineConfig::default(),
+            &EngineConfig::default(),
         )
         .run()
     }
@@ -581,6 +668,7 @@ mod tests {
     fn kv_is_fully_returned_after_drain() {
         let trace = burst_trace(6, 100, 5);
         let policy = SarathiServe::default();
+        let cfg = EngineConfig::default();
         let mut engine = SimEngine::new(
             &trace,
             &policy,
@@ -589,7 +677,7 @@ mod tests {
             2048,
             16,
             1024,
-            EngineConfig::default(),
+            &cfg,
         );
         // Run manually so we can inspect the KV afterwards.
         for (i, r) in trace.requests.iter().enumerate() {
@@ -683,7 +771,7 @@ mod tests {
         let run_with = |cpp: bool| {
             SimEngine::new(
                 &trace, &policy, small_exec(4), RuntimeModel::gllm(), 4096, 16, 1024,
-                EngineConfig { enable_cpp: cpp, ..Default::default() },
+                &EngineConfig { enable_cpp: cpp, ..Default::default() },
             )
             .run()
         };
@@ -713,12 +801,12 @@ mod tests {
         let policy = TokenThrottle::default();
         let healthy = SimEngine::new(
             &trace, &policy, small_exec(4), RuntimeModel::gllm(), 8192, 16, 1024,
-            EngineConfig::default(),
+            &EngineConfig::default(),
         )
         .run();
         let degraded = SimEngine::new(
             &trace, &policy, small_exec(4), RuntimeModel::gllm(), 8192, 16, 1024,
-            EngineConfig { stage_slowdown: vec![1.0, 1.0, 2.0, 1.0], ..Default::default() },
+            &EngineConfig { stage_slowdown: vec![1.0, 1.0, 2.0, 1.0], ..Default::default() },
         )
         .run();
         let h = ServingReport::from_recorder(&healthy.recorder);
@@ -856,7 +944,7 @@ mod tests {
             2048,
             16,
             1024,
-            cfg,
+            &cfg,
         )
         .run();
         assert!(out.trace.is_enabled());

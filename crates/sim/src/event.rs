@@ -40,19 +40,21 @@ struct Entry<E> {
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time.total_cmp(&other.time) == Ordering::Equal && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, seq). Times are finite by
-        // construction (asserted on push).
+        // Reverse for a min-heap on (time, seq). `total_cmp` is a total
+        // order, so the hottest comparator in the simulator has no panic
+        // path; push() guarantees times are finite, non-negative and
+        // normalised (no -0.0), which makes total_cmp agree with the
+        // numeric order.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -83,9 +85,23 @@ impl<E> EventQueue<E> {
         Self::default()
     }
 
+    /// An empty queue with room for `capacity` pending events, so bulk
+    /// seeding (one arrival event per trace request) does not reallocate.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedule `event` at absolute time `time`.
     pub fn push(&mut self, time: f64, event: E) {
         assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
+        // Normalise -0.0 so Ord (total_cmp) and the numeric order agree on
+        // every admitted time.
+        let time = if time == 0.0 { 0.0 } else { time };
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
@@ -141,6 +157,30 @@ mod tests {
     #[should_panic(expected = "bad event time")]
     fn rejects_nan_times() {
         EventQueue::new().push(f64::NAN, Event::Arrival { trace_index: 0 });
+    }
+
+    #[test]
+    fn negative_zero_is_normalised_to_zero() {
+        let mut q = EventQueue::new();
+        q.push(-0.0, Event::Arrival { trace_index: 0 });
+        q.push(0.0, Event::Arrival { trace_index: 1 });
+        // Both are time 0.0; insertion order decides.
+        let (t0, e0) = q.pop().expect("first");
+        let (t1, e1) = q.pop().expect("second");
+        assert!(t0 == 0.0 && t0.is_sign_positive());
+        assert!(t1 == 0.0 && t1.is_sign_positive());
+        assert_eq!(e0, Event::Arrival { trace_index: 0 });
+        assert_eq!(e1, Event::Arrival { trace_index: 1 });
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q: EventQueue = EventQueue::with_capacity(16);
+        q.push(2.0, Event::Arrival { trace_index: 2 });
+        q.push(1.0, Event::Arrival { trace_index: 1 });
+        q.reserve(100);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(1.0));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(2.0));
     }
 
     #[test]

@@ -103,8 +103,15 @@ pub fn run_experiment_with(
 ) -> RunResult {
     let policy = system.policy.build();
     let exec = execution_model_with(system, deployment, tweak);
-    let mut engine_cfg = cfg.clone();
-    engine_cfg.enable_cpp = system.cpp;
+    // The engine borrows its config; only materialise a copy when the
+    // system's CPP setting actually disagrees with the caller's config.
+    let cpp_override;
+    let engine_cfg = if cfg.enable_cpp == system.cpp {
+        cfg
+    } else {
+        cpp_override = EngineConfig { enable_cpp: system.cpp, ..cfg.clone() };
+        &cpp_override
+    };
     let engine = SimEngine::new(
         trace,
         policy.as_ref(),
@@ -121,10 +128,17 @@ pub fn run_experiment_with(
     }
     let report = ServingReport::from_recorder(&out.recorder);
     let horizon = out.end_time_s.max(f64::MIN_POSITIVE);
+    // The windowed series is only materialised when busy intervals were
+    // recorded — an O(intervals × windows) reduction that sweeps skip.
+    let utilization_series = if cfg.record_utilization {
+        out.busy.utilization_series(horizon, horizon / 64.0)
+    } else {
+        Vec::new()
+    };
     RunResult {
         system: system.name.clone(),
         report,
-        utilization_series: out.busy.utilization_series(horizon, horizon / 64.0),
+        utilization_series,
         mean_utilization: out.busy.mean_utilization(horizon),
         recorder: out.recorder,
         token_trace: out.token_trace,
@@ -193,6 +207,69 @@ mod tests {
             s.report.mean_e2el_s,
             g.report.mean_e2el_s
         );
+    }
+
+    #[test]
+    fn cost_memoization_does_not_change_any_metric() {
+        // The stage-time cache must replay the exact f64 the first
+        // evaluation produced, so every downstream metric is bit-identical
+        // with memoization on or off.
+        let trace = Trace::paper_online(Dataset::ShareGpt, 4.0, 7);
+        let d = deployment();
+        let on = EngineConfig { memoize_costs: true, ..EngineConfig::default() };
+        let off = EngineConfig { memoize_costs: false, ..EngineConfig::default() };
+        for sys in SystemConfig::paper_main() {
+            let a = run_experiment(&trace, &sys, &d, &on);
+            let b = run_experiment(&trace, &sys, &d, &off);
+            assert_eq!(
+                a.end_time_s.to_bits(),
+                b.end_time_s.to_bits(),
+                "{}: end time diverged under memoization",
+                sys.name
+            );
+            assert_eq!(a.report, b.report, "{}: report diverged", sys.name);
+            assert_eq!(a.sched_iterations, b.sched_iterations);
+            assert_eq!(a.preemptions, b.preemptions);
+        }
+    }
+
+    #[test]
+    fn fast_scheduler_paths_are_bit_identical_to_legacy() {
+        // The optimized pool paths (direct map-walk view, O(1) live count,
+        // single-probe KV admission) must schedule the exact same batches
+        // as the legacy paths — the perf harness's baseline is only honest
+        // if the two are interchangeable.
+        let trace = Trace::paper_online(Dataset::ShareGpt, 4.0, 11);
+        let d = deployment();
+        let fast = EngineConfig { fast_scheduler: true, ..EngineConfig::default() };
+        let legacy = EngineConfig { fast_scheduler: false, ..EngineConfig::default() };
+        for sys in SystemConfig::paper_main() {
+            let a = run_experiment(&trace, &sys, &d, &fast);
+            let b = run_experiment(&trace, &sys, &d, &legacy);
+            assert_eq!(
+                a.end_time_s.to_bits(),
+                b.end_time_s.to_bits(),
+                "{}: end time diverged under the fast scheduler",
+                sys.name
+            );
+            assert_eq!(a.report, b.report, "{}: report diverged", sys.name);
+            assert_eq!(a.sched_iterations, b.sched_iterations);
+            assert_eq!(a.preemptions, b.preemptions);
+        }
+    }
+
+    #[test]
+    fn utilization_series_is_skipped_when_recording_is_off() {
+        let trace = Trace::paper_online(Dataset::ShareGpt, 1.0, 3);
+        let d = deployment();
+        let quiet = EngineConfig { record_utilization: false, ..EngineConfig::default() };
+        let r = run_experiment(&trace, &SystemConfig::gllm(), &d, &quiet);
+        assert!(r.utilization_series.is_empty());
+        // Recording is a pure observer: the simulated outcome is unchanged.
+        let loud = run_experiment(&trace, &SystemConfig::gllm(), &d, &EngineConfig::default());
+        assert_eq!(r.end_time_s.to_bits(), loud.end_time_s.to_bits());
+        assert_eq!(r.report, loud.report);
+        assert!(!loud.utilization_series.is_empty());
     }
 
     #[test]

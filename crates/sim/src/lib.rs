@@ -20,7 +20,9 @@
 //!   (gLLM, vLLM, SGLang, the ablation variants),
 //! * [`experiment`] — one-call experiment driver producing a
 //!   [`experiment::RunResult`],
-//! * [`capacity`] — max-throughput search used by the scalability study.
+//! * [`capacity`] — max-throughput search used by the scalability study,
+//! * [`sweep`] — deterministic parallel fan-out for multi-simulation
+//!   sweeps (results merged in job order, bit-identical to serial).
 
 pub mod capacity;
 pub mod deployment;
@@ -29,6 +31,7 @@ pub mod engine;
 pub mod event;
 pub mod experiment;
 pub mod runtime_model;
+pub mod sweep;
 pub mod systems;
 
 pub use deployment::Deployment;
@@ -36,4 +39,5 @@ pub use disagg::{simulate_disaggregated, DisaggConfig};
 pub use engine::{EngineConfig, SimEngine};
 pub use experiment::{run_experiment, RunResult};
 pub use runtime_model::RuntimeModel;
+pub use sweep::{default_jobs, parallel_map, run_experiments, ExperimentJob};
 pub use systems::{Parallelism, PolicyKind, SystemConfig};

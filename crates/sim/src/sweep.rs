@@ -1,0 +1,165 @@
+//! Deterministic parallel experiment fan-out.
+//!
+//! Every figure and table in the reproduction is a sweep: N independent
+//! `(trace, system, deployment, config)` simulations whose results are
+//! reduced into one JSON artifact. Simulations share no mutable state, so
+//! they can run on worker threads — but the *artifact* must stay
+//! bit-identical to a serial run. This module guarantees that by
+//! construction: workers pull job indices from an atomic counter, tag each
+//! result with the index it came from, and [`parallel_map`] merges results
+//! into their slots **in job-index order**. Thread scheduling can change
+//! which worker runs which job, never what the merged vector contains.
+//!
+//! This is the one sanctioned home for thread spawning in the simulation
+//! layer — `gllm-lint`'s sim-determinism check flags thread use anywhere
+//! else under `crates/sim`, `crates/core` or `crates/metrics`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gllm_model::CostModel;
+use gllm_workload::Trace;
+
+use crate::deployment::Deployment;
+use crate::engine::EngineConfig;
+use crate::experiment::{run_experiment_with, RunResult};
+use crate::systems::SystemConfig;
+
+/// Number of worker threads to use by default: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f(index, &items[index])` for every item, fanning the calls across
+/// `jobs` worker threads, and return the results **in item order** — the
+/// output is byte-for-byte what a `items.iter().enumerate().map(f)` loop
+/// produces, regardless of how the OS schedules the workers.
+///
+/// `jobs <= 1` short-circuits to the serial loop (no threads spawned).
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let workers = jobs.min(items.len());
+    let next = AtomicUsize::new(0);
+    // Each worker collects (index, result) pairs; after the scope joins,
+    // results are placed into their slots by index. The merge order is a
+    // function of the job list alone, never of thread timing.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        mine.push((i, f(i, &items[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    for (i, r) in collected.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "job {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never ran")))
+        .collect()
+}
+
+/// One simulation in a sweep: everything [`run_experiment_with`] needs,
+/// borrowed so job lists are cheap to build.
+pub struct ExperimentJob<'a> {
+    /// Workload to replay.
+    pub trace: &'a Trace,
+    /// System under test.
+    pub system: &'a SystemConfig,
+    /// Model-on-cluster deployment.
+    pub deployment: &'a Deployment,
+    /// Engine configuration.
+    pub cfg: &'a EngineConfig,
+    /// Optional cost-model hook (ablation benches inject MoE variance or
+    /// strip the attention term). `None` means no adjustment.
+    pub tweak: Option<&'a (dyn Fn(&mut CostModel) + Sync)>,
+}
+
+/// Run every job, fanned across `jobs` threads, returning results in job
+/// order — bit-identical to running the jobs serially in a loop.
+pub fn run_experiments(jobs_list: &[ExperimentJob<'_>], jobs: usize) -> Vec<RunResult> {
+    parallel_map(jobs_list, jobs, |_, job| {
+        let noop: &dyn Fn(&mut CostModel) = &|_| {};
+        let tweak: &dyn Fn(&mut CostModel) = match job.tweak {
+            Some(t) => t,
+            None => noop,
+        };
+        run_experiment_with(job.trace, job.system, job.deployment, job.cfg, tweak)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gllm_model::{ClusterSpec, ModelConfig};
+    use gllm_workload::Dataset;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = parallel_map(&items, 1, |i, &x| (i, x * x));
+        let fanned = parallel_map(&items, 8, |i, &x| (i, x * x));
+        assert_eq!(serial, fanned);
+        assert_eq!(fanned[41], (41, 41 * 41));
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn fanned_experiments_match_serial_bitwise() {
+        let trace = Trace::paper_online(Dataset::ShareGpt, 2.0, 21);
+        let d = Deployment::new(ModelConfig::qwen2_5_32b(), ClusterSpec::intra_node_l20(4));
+        let cfg = EngineConfig {
+            record_token_trace: false,
+            record_utilization: false,
+            ..EngineConfig::default()
+        };
+        let systems = SystemConfig::paper_main();
+        let job_list: Vec<ExperimentJob> = systems
+            .iter()
+            .map(|s| ExperimentJob {
+                trace: &trace,
+                system: s,
+                deployment: &d,
+                cfg: &cfg,
+                tweak: None,
+            })
+            .collect();
+        let serial = run_experiments(&job_list, 1);
+        let fanned = run_experiments(&job_list, 8);
+        assert_eq!(serial.len(), fanned.len());
+        for (a, b) in serial.iter().zip(&fanned) {
+            assert_eq!(a.system, b.system);
+            assert_eq!(a.report, b.report, "{}: report diverged under fan-out", a.system);
+            assert_eq!(a.end_time_s.to_bits(), b.end_time_s.to_bits());
+            assert_eq!(a.sched_iterations, b.sched_iterations);
+            assert_eq!(a.preemptions, b.preemptions);
+        }
+    }
+}

@@ -60,7 +60,7 @@ proptest! {
             let policy = sys.policy.build();
             let out = SimEngine::new(
                 &trace, policy.as_ref(), exec(stages), RuntimeModel::gllm(),
-                4096, 16, 1024, EngineConfig::default(),
+                4096, 16, 1024, &EngineConfig::default(),
             ).run();
             let report = ServingReport::from_recorder(&out.recorder);
             prop_assert_eq!(report.finished_requests, trace.len(), "{} stranded work", sys.name);
@@ -90,7 +90,7 @@ proptest! {
         let policy = sys.policy.build();
         let out = SimEngine::new(
             &trace, policy.as_ref(), exec(2), RuntimeModel::vllm(),
-            blocks, 16, 1024, EngineConfig::default(),
+            blocks, 16, 1024, &EngineConfig::default(),
         ).run();
         let report = ServingReport::from_recorder(&out.recorder);
         prop_assert_eq!(report.finished_requests + out.aborted, trace.len());
@@ -108,7 +108,7 @@ proptest! {
             SimEngine::new(
                 &trace, policy.as_ref(), exec(4), RuntimeModel::gllm(),
                 4096, 16, 1024,
-                EngineConfig { enable_cpp: cpp, ..Default::default() },
+                &EngineConfig { enable_cpp: cpp, ..Default::default() },
             ).run()
         };
         let a = run(false);
