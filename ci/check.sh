@@ -5,9 +5,18 @@
 set -eux
 
 # Stage 1: in-tree static analysis (unit newtypes, panic-freedom, sim
-# determinism, lock discipline, vendor hygiene). Fails fast before the
-# release build. `--list-checks` documents the families.
-cargo run -p gllm-lint -- --deny
+# determinism, lock discipline, vendor hygiene, plus the v2 dataflow
+# families: lock-order, newtype-escape, float-determinism and
+# stale-suppression). Fails fast before the release build; emits a SARIF
+# report and verifies the ratchet baseline (counts may only go down).
+# `--list-checks` documents the families.
+cargo run -p gllm-lint -- --deny all \
+    --baseline ci/lint-baseline.json \
+    --format sarif --output lint.sarif
+
+# The linter must hold itself to its own panic-freedom and
+# float-determinism rules (self-clean).
+cargo run -p gllm-lint -- --paths crates/lint --deny all
 
 cargo build --release
 cargo test -q

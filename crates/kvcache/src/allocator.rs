@@ -80,7 +80,7 @@ impl BlockAllocator {
         if self.num_free() < n {
             return None;
         }
-        Some((0..n.get()).map(|_| self.allocate().expect("checked")).collect())
+        (0..n.get()).map(|_| self.allocate()).collect()
     }
 
     /// Add one owner to an allocated block (prefix sharing).

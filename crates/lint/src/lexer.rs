@@ -1,0 +1,521 @@
+//! A zero-dependency Rust token-stream lexer.
+//!
+//! This replaces PR 2's per-line string-blanking heuristic with a real
+//! single-pass lexer that understands the lexical grammar the checks care
+//! about: nested block comments, escaped and raw strings (any hash depth),
+//! byte/C strings, char literals vs. lifetimes, tuple-index `x.0` vs. float
+//! `1.0`, and raw identifiers. It produces three synchronized views of a
+//! source file:
+//!
+//! * a flat token stream ([`Tok`]) with per-token line numbers — the input
+//!   to the dataflow analyses in [`crate::dataflow`];
+//! * the comment stream ([`Comment`]) — the input to `lint:allow(...)`
+//!   collection (doc comments are tagged so allow examples in docs are
+//!   never treated as live suppressions);
+//! * per-line stripped code ([`LineStrip`]) — literal contents blanked,
+//!   comments removed — which the line-oriented check families consume.
+
+/// Token kinds the checks distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident,
+    /// A lifetime such as `'a` (text keeps the leading quote).
+    Lifetime,
+    /// Integer literal (including tuple-field indices after `.`).
+    Int,
+    /// Float literal.
+    Float,
+    /// String / raw string / byte string / C string literal (text is `""`).
+    Str,
+    /// Char or byte-char literal (text is `' '`).
+    Char,
+    /// Single punctuation character.
+    Punct,
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (literals are blanked to `""` / `' '`).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// `true` when this is an identifier with exactly `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` when this is punctuation `c` (including delimiters).
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.kind, TokKind::Punct | TokKind::Open | TokKind::Close)
+            && self.text.len() == 1
+            && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block). Block comments spanning lines produce one
+/// entry per line so `lint:allow` targeting stays line-accurate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text for this line (delimiters included for `//` comments).
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// `true` for doc comments (`///`, `//!`, `/**`, `/*!`): allow
+    /// annotations inside them are documentation, not suppressions.
+    pub doc: bool,
+}
+
+/// One physical source line after stripping: literal contents blanked,
+/// comments removed. The line-oriented checks run on `code`; `comment`
+/// concatenates every comment chunk on the line.
+#[derive(Debug, Clone, Default)]
+pub struct LineStrip {
+    /// The stripped code text.
+    pub code: String,
+    /// Concatenated comment text on this line.
+    pub comment: String,
+}
+
+/// The full lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The flat token stream.
+    pub toks: Vec<Tok>,
+    /// Every comment, in order.
+    pub comments: Vec<Comment>,
+    /// Per-line stripped code (index 0 = line 1).
+    pub lines: Vec<LineStrip>,
+}
+
+impl Lexed {
+    /// Concatenated comment text for a 1-based line (empty when none).
+    pub fn comment_on(&self, line: usize) -> String {
+        self.lines.get(line.wrapping_sub(1)).map(|l| l.comment.clone()).unwrap_or_default()
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: usize,
+    out: Lexed,
+}
+
+/// Lex one Rust source file. Never fails: unterminated literals simply run
+/// to end of input (the checks stay conservative on malformed code).
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer { src: src.as_bytes(), i: 0, line: 1, out: Lexed::default() };
+    lx.out.lines.push(LineStrip::default());
+    lx.run();
+    lx.out
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> u8 {
+        self.src.get(self.i + off).copied().unwrap_or(0)
+    }
+
+    fn cur_line(&mut self) -> &mut LineStrip {
+        let idx = self.line - 1;
+        while self.out.lines.len() <= idx {
+            self.out.lines.push(LineStrip::default());
+        }
+        &mut self.out.lines[idx]
+    }
+
+    /// Consume one byte, maintaining the line counter. Does not echo.
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.cur_line();
+        }
+        b
+    }
+
+    /// Consume one byte and echo it into the stripped line.
+    fn bump_echo(&mut self) {
+        let b = self.bump();
+        if b != b'\n' {
+            self.cur_line().code.push(b as char);
+        }
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: &str, line: usize) {
+        self.out.toks.push(Tok { kind, text: text.to_string(), line });
+    }
+
+    fn run(&mut self) {
+        while self.i < self.src.len() {
+            let b = self.peek(0);
+            let b1 = self.peek(1);
+            match b {
+                b'/' if b1 == b'/' => self.line_comment(),
+                b'/' if b1 == b'*' => self.block_comment(),
+                b'"' => self.string(TokKind::Str),
+                b'b' | b'c' if b1 == b'"' => {
+                    self.bump_echo();
+                    self.string(TokKind::Str);
+                }
+                b'b' if b1 == b'\'' => {
+                    self.bump_echo();
+                    self.char_or_lifetime(true);
+                }
+                b'b' | b'c' if b1 == b'r' && matches!(self.peek(2), b'"' | b'#') => {
+                    self.bump_echo();
+                    self.maybe_raw_string();
+                }
+                b'r' if matches!(b1, b'"' | b'#') => self.maybe_raw_string(),
+                b'\'' => self.char_or_lifetime(false),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ if b.is_ascii_whitespace() => {
+                    let keep = b != b'\n';
+                    self.bump();
+                    if keep {
+                        self.cur_line().code.push(b as char);
+                    }
+                }
+                _ => {
+                    let line = self.line;
+                    self.bump_echo();
+                    let kind = match b {
+                        b'(' | b'[' | b'{' => TokKind::Open,
+                        b')' | b']' | b'}' => TokKind::Close,
+                        _ => TokKind::Punct,
+                    };
+                    let mut s = String::new();
+                    s.push(b as char);
+                    self.push_tok(kind, &s, line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.i < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.out.comments.push(Comment { text: text.clone(), line, doc });
+        let idx = line - 1;
+        self.cur_line();
+        self.out.lines[idx].comment.push_str(&text);
+    }
+
+    fn block_comment(&mut self) {
+        let open_line = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), b'*' | b'!') && self.peek(1) != b'*';
+        let mut depth = 1usize;
+        let mut chunk = String::new();
+        let mut chunk_line = self.line;
+        while self.i < self.src.len() && depth > 0 {
+            let b = self.peek(0);
+            let b1 = self.peek(1);
+            if b == b'*' && b1 == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else if b == b'/' && b1 == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if b == b'\n' {
+                self.flush_comment_chunk(&mut chunk, chunk_line, doc);
+                self.bump();
+                chunk_line = self.line;
+            } else {
+                chunk.push(b as char);
+                self.bump();
+            }
+        }
+        self.flush_comment_chunk(&mut chunk, chunk_line, doc);
+        let _ = open_line;
+    }
+
+    fn flush_comment_chunk(&mut self, chunk: &mut String, line: usize, doc: bool) {
+        if chunk.is_empty() {
+            return;
+        }
+        let text = std::mem::take(chunk);
+        self.out.comments.push(Comment { text: text.clone(), line, doc });
+        let idx = line - 1;
+        self.cur_line();
+        if let Some(l) = self.out.lines.get_mut(idx) {
+            l.comment.push_str(&text);
+        }
+    }
+
+    /// A `"..."` string (escapes honoured). Emits `""` into the stripped
+    /// line and one `Str` token.
+    fn string(&mut self, kind: TokKind) {
+        let line = self.line;
+        self.cur_line().code.push('"');
+        self.bump(); // opening quote, not echoed raw
+        while self.i < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.cur_line().code.push('"');
+        self.push_tok(kind, "\"\"", line);
+    }
+
+    /// `r"..."`, `r#"..."#`, … — or just an identifier starting with `r`
+    /// (e.g. `r#ident`). Call with `self.i` at the `r`.
+    fn maybe_raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        let mut j = self.i + 1;
+        while self.src.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.src.get(j) != Some(&b'"') {
+            // `r#ident` (raw identifier) or a plain ident starting with r.
+            self.ident();
+            return;
+        }
+        self.cur_line().code.push('"');
+        self.i = j + 1; // past opening quote
+        while self.i < self.src.len() {
+            if self.peek(0) == b'"' {
+                let mut all = true;
+                for k in 0..hashes {
+                    if self.src.get(self.i + 1 + k) != Some(&b'#') {
+                        all = false;
+                        break;
+                    }
+                }
+                if all {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        self.cur_line().code.push('"');
+        self.push_tok(TokKind::Str, "\"\"", line);
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal). A literal closes
+    /// with a quote; a lifetime is `'` + identifier with no closing quote.
+    fn char_or_lifetime(&mut self, byte_prefix: bool) {
+        let line = self.line;
+        let b1 = self.peek(1);
+        let is_char = if b1 == b'\\' {
+            true
+        } else if b1 == b'_' || b1.is_ascii_alphanumeric() {
+            // `'a'` is a char, `'a` / `'static` are lifetimes.
+            let mut j = self.i + 2;
+            while matches!(self.src.get(j), Some(&c) if c == b'_' || c.is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            self.src.get(j) == Some(&b'\'') && j == self.i + 2
+        } else {
+            // Non-identifier content (`'+'`, `' '`) must be a char literal.
+            true
+        };
+        if is_char || byte_prefix {
+            self.bump(); // opening quote
+            if self.peek(0) == b'\\' {
+                self.bump();
+                self.bump();
+            } else if self.peek(0) != b'\'' {
+                self.bump();
+            }
+            while self.i < self.src.len() && self.peek(0) != b'\'' && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            self.bump(); // closing quote
+            self.cur_line().code.push_str("' '");
+            self.push_tok(TokKind::Char, "' '", line);
+        } else {
+            // Lifetime: echo the quote and the identifier.
+            let start = self.i;
+            self.bump_echo();
+            while matches!(self.peek(0), c if c == b'_' || c.is_ascii_alphanumeric()) {
+                self.bump_echo();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+            self.push_tok(TokKind::Lifetime, &text, line);
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let after_dot =
+            matches!(self.out.toks.last(), Some(t) if t.kind == TokKind::Punct && t.text == ".");
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.bump_echo();
+        }
+        let mut float = false;
+        // `1.0` is a float; `x.0` keeps `0` as a tuple index; `0..n` is a
+        // range, not a float.
+        if !after_dot && self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            float = true;
+            self.bump_echo(); // the dot
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump_echo();
+            }
+        } else if !after_dot && self.peek(0) == b'.' && !self.peek(1).is_ascii_digit() && self.peek(1) != b'.'
+            && !self.peek(1).is_ascii_alphabetic() && self.peek(1) != b'_'
+        {
+            // Trailing-dot float like `1.`
+            float = true;
+            self.bump_echo();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push_tok(kind, &text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut start = self.i;
+        // Raw identifier `r#name`: skip the prefix in the token text.
+        if self.peek(0) == b'r' && self.peek(1) == b'#' {
+            self.bump_echo();
+            self.bump_echo();
+            start = self.i;
+        }
+        while matches!(self.peek(0), c if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.bump_echo();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        self.push_tok(TokKind::Ident, &text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_at_any_hash_depth_are_blanked() {
+        let lx = lex(r##"let s = r#"contains .unwrap() and "quotes""#; done();"##);
+        assert!(lx.lines[0].code.contains("let s = \"\"; done();"), "{:?}", lx.lines[0].code);
+        assert!(lx.toks.iter().any(|t| t.kind == TokKind::Str));
+        assert!(!lx.lines[0].code.contains("unwrap"));
+        // Hashless raw string too.
+        let lx = lex("let s = r\"no .expect( here\";");
+        assert!(!lx.lines[0].code.contains("expect"));
+        // Byte string.
+        let lx = lex("let s = b\"HashMap\";");
+        assert!(!lx.lines[0].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "type".to_string())), "{toks:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_fully_strip() {
+        let src = "a(); /* outer /* inner .unwrap() */ still comment */ b();";
+        let lx = lex(src);
+        assert_eq!(lx.lines[0].code.trim_end(), "a();  b();");
+        assert!(lx.lines[0].comment.contains("inner"));
+        // Multi-line nesting keeps line numbers straight.
+        let lx = lex("x();\n/* one\n /* two */\n three */\ny();");
+        assert_eq!(lx.lines[4].code, "y();");
+        let y = lx.toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 5);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let w = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).cloned().collect();
+        assert_eq!(
+            lifetimes,
+            vec![(TokKind::Lifetime, "'a".to_string()), (TokKind::Lifetime, "'a".to_string())]
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+        // `'static` is a lifetime even though it is long.
+        let toks = kinds("fn f(x: &'static str) {}");
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".to_string())));
+    }
+
+    #[test]
+    fn tuple_index_is_int_but_float_is_float() {
+        let toks = kinds("let a = x.0; let b = 1.0; let c = 0..10; let d = t.0.1;");
+        // x.0 → Punct('.') Int("0")
+        assert!(toks.contains(&(TokKind::Int, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Float, "1.0".to_string())));
+        // Ranges stay two ints.
+        assert!(toks.contains(&(TokKind::Int, "10".to_string())));
+        // Nested tuple index: both indices are ints.
+        assert!(toks.iter().filter(|(k, t)| *k == TokKind::Int && (t == "0" || t == "1")).count() >= 3);
+    }
+
+    #[test]
+    fn multiline_strings_blank_every_line() {
+        let lx = lex("let s = \"line one .unwrap()\nline two HashMap\";\nf();");
+        assert!(!lx.lines[0].code.contains("unwrap"));
+        assert!(!lx.lines[1].code.contains("HashMap"));
+        assert_eq!(lx.lines[2].code, "f();");
+    }
+
+    #[test]
+    fn doc_comments_are_tagged() {
+        let lx = lex("/// doc lint:allow(x): y\n//! inner doc\n// normal\nfn f() {}\n");
+        assert!(lx.comments[0].doc);
+        assert!(lx.comments[1].doc);
+        assert!(!lx.comments[2].doc);
+    }
+
+    #[test]
+    fn line_numbers_track_tokens() {
+        let lx = lex("a\n\nb // c\nd\n");
+        let find = |n: &str| lx.toks.iter().find(|t| t.is_ident(n)).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(3));
+        assert_eq!(find("d"), Some(4));
+    }
+
+    #[test]
+    fn char_literal_of_punctuation_is_blanked() {
+        let lx = lex("let c = '{'; let d = '}';");
+        // Blanked chars must not unbalance brace tracking.
+        assert!(!lx.lines[0].code.contains('{'));
+        assert!(!lx.lines[0].code.contains('}'));
+        assert_eq!(lx.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+}

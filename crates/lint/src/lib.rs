@@ -1,26 +1,42 @@
-//! In-tree static-analysis pass (`gllm-lint`), modeled on rust-lang's
-//! `tidy`: purely lexical, line-level checks with no external parser
-//! dependencies, so it runs fully offline as part of the tier-1 gate.
+//! In-tree static-analysis pass (`gllm-lint`) v2: a zero-dependency Rust
+//! token-stream lexer plus an intraprocedural dataflow engine, so checks
+//! see *token facts across statements* instead of single source lines. It
+//! still runs fully offline as part of the tier-1 gate.
 //!
-//! Five check families (see `DESIGN.md` §7 for the rationale):
+//! Pipeline: [`lexer`] (tokens + comments, strings blanked) → [`syntax`]
+//! (per-line stripped view, `lint:allow` collection, per-function token
+//! slices) → [`dataflow`] (guard liveness, lock acquisition order, unit
+//! taint) → check families → suppression → [`sarif`]/[`ratchet`] reporting.
+//!
+//! Nine check families (see `DESIGN.md` §7 and §9 for the rationale):
 //!
 //! * **unit-confusion** — the public interfaces of the scheduler/KV layers
-//!   (`throttle.rs`, `plan.rs`, `policy.rs`, `pool.rs`, `allocator.rs`,
-//!   `page_table.rs`, `manager.rs`) must pass quantities as the `Tokens`/
-//!   `Blocks`/`Bytes` newtypes from `gllm-units`, not raw integers.
+//!   must pass quantities as the `Tokens`/`Blocks`/`Bytes` newtypes from
+//!   `gllm-units`, not raw integers.
 //! * **panic-freedom** — no `unwrap()`/`expect()`/`panic!`-family macros or
-//!   literal-index slicing in non-test code on the `crates/runtime` and
-//!   `crates/core` hot paths (asserts are fine: they document invariants).
+//!   literal-index slicing in non-test code on the `crates/runtime`,
+//!   `crates/core` and `crates/lint` hot paths.
 //! * **sim-determinism** — no wall clocks, OS entropy, or hash-ordered
-//!   containers in `crates/sim`, `crates/core`, `crates/metrics`: the
-//!   simulator must replay bit-identically (seeded RNG and `BTreeMap`
-//!   only).
-//! * **lock-discipline** — no `MutexGuard` held across channel `send(`/
-//!   `recv(` or thread `join()` in `crates/runtime` (a guard held across a
-//!   blocking rendezvous is how the pipeline deadlocks).
+//!   containers in `crates/sim`, `crates/core`, `crates/metrics`.
+//! * **lock-discipline** — no `MutexGuard` live across channel `send(`/
+//!   `recv(` or thread `join()` in `crates/runtime`. v2 tracks guards
+//!   through multi-line bindings, `if let`/`match` scopes, moves and
+//!   `drop()` — not just one physical line.
 //! * **vendor-hygiene** — every `vendor/` path dependency in the root
-//!   `Cargo.toml` must resolve to an actual shim crate and be documented in
-//!   `vendor/README.md`.
+//!   `Cargo.toml` must resolve to an actual shim crate and be documented.
+//! * **lock-order** — the Mutex/RwLock acquisition graph (edges: lock B
+//!   taken while lock A is held) must be acyclic, per file and globally
+//!   across the runtime; a cycle or a re-lock of a held `std::sync::Mutex`
+//!   is a potential deadlock.
+//! * **newtype-escape** — taint analysis: `Tokens`/`Blocks`/`Bytes` values
+//!   escaping to raw integers via `.get()`/`.0` must not mix units in
+//!   arithmetic or cross `pub fn` boundaries as raw `usize`/`u64`.
+//! * **float-determinism** — no `.partial_cmp(` comparisons or NaN literals
+//!   in the sim/metrics/workload planes: replay must be bit-identical, so
+//!   `f64` keys compare with `f64::total_cmp`.
+//! * **stale-suppression** — a `lint:allow` that no longer suppresses any
+//!   finding is itself a violation (suppressions must not outlive their
+//!   reason).
 //!
 //! Any finding can be suppressed with an inline comment carrying a
 //! mandatory reason:
@@ -32,20 +48,28 @@
 //! ```
 //!
 //! A trailing allow covers its own line; a standalone allow comment covers
-//! the next code line. An allow without a reason — or naming an unknown
-//! check — is itself reported as a violation.
+//! the next code line. An allow without a reason, naming an unknown check,
+//! or naming `stale-suppression` itself is reported as a violation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+pub mod dataflow;
+pub mod lexer;
+pub mod ratchet;
+pub mod sarif;
+pub mod syntax;
+
+use syntax::SourceLine;
 
 /// The check families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Check {
     /// Raw integers crossing unit-bearing public interfaces.
     UnitConfusion,
-    /// Panicking constructs on runtime/core hot paths.
+    /// Panicking constructs on runtime/core/lint hot paths.
     PanicFreedom,
     /// Nondeterminism sources in the simulation plane.
     SimDeterminism,
@@ -53,16 +77,28 @@ pub enum Check {
     LockDiscipline,
     /// Vendored path dependencies without a shim or README entry.
     VendorHygiene,
+    /// Cyclic (or reentrant) lock acquisition order in the runtime.
+    LockOrder,
+    /// Unit newtype raw escapes mixing units or crossing pub boundaries.
+    NewtypeEscape,
+    /// Partial f64 orders / NaN injection in deterministic planes.
+    FloatDeterminism,
+    /// `lint:allow` annotations that suppress nothing.
+    StaleSuppression,
 }
 
 impl Check {
     /// Every check, in reporting order.
-    pub const ALL: [Check; 5] = [
+    pub const ALL: [Check; 9] = [
         Check::UnitConfusion,
         Check::PanicFreedom,
         Check::SimDeterminism,
         Check::LockDiscipline,
         Check::VendorHygiene,
+        Check::LockOrder,
+        Check::NewtypeEscape,
+        Check::FloatDeterminism,
+        Check::StaleSuppression,
     ];
 
     /// The kebab-case name used in reports and `lint:allow(...)`.
@@ -73,6 +109,10 @@ impl Check {
             Check::SimDeterminism => "sim-determinism",
             Check::LockDiscipline => "lock-discipline",
             Check::VendorHygiene => "vendor-hygiene",
+            Check::LockOrder => "lock-order",
+            Check::NewtypeEscape => "newtype-escape",
+            Check::FloatDeterminism => "float-determinism",
+            Check::StaleSuppression => "stale-suppression",
         }
     }
 
@@ -88,16 +128,28 @@ impl Check {
                 "Tokens/Blocks/Bytes newtypes must cross scheduler/KV public interfaces, not raw ints"
             }
             Check::PanicFreedom => {
-                "no unwrap()/expect()/panic! family/literal-index slicing in runtime+core non-test code"
+                "no unwrap()/expect()/panic! family/literal-index slicing in runtime+core+kvcache+lint non-test code"
             }
             Check::SimDeterminism => {
                 "no Instant::now/SystemTime/thread_rng/HashMap/HashSet/thread::spawn in sim, core and metrics (threads only via gllm_sim::sweep)"
             }
             Check::LockDiscipline => {
-                "no MutexGuard live across channel send(/recv( or thread join() in the runtime"
+                "no MutexGuard live across channel send(/recv( or thread join() in the runtime (tracked through bindings and blocks)"
             }
             Check::VendorHygiene => {
                 "every vendor/ path dep resolves to a shim crate with a vendor/README.md entry"
+            }
+            Check::LockOrder => {
+                "the Mutex/RwLock acquisition graph must be acyclic (per file and globally); re-locking a held Mutex is a self-deadlock"
+            }
+            Check::NewtypeEscape => {
+                "raw escapes of Tokens/Blocks/Bytes (.get()/.0) must not mix units in +/- or return from pub fns as raw usize/u64"
+            }
+            Check::FloatDeterminism => {
+                "no .partial_cmp( or NaN literals in sim/metrics/workload planes; order f64 keys with f64::total_cmp"
+            }
+            Check::StaleSuppression => {
+                "every lint:allow(...) must still suppress at least one live finding"
             }
         }
     }
@@ -137,255 +189,8 @@ impl fmt::Display for Violation {
 }
 
 // ---------------------------------------------------------------------------
-// Source preprocessing: strings/comments stripped, comments kept aside.
-// ---------------------------------------------------------------------------
-
-/// One physical line after lexical preprocessing.
-#[derive(Debug, Clone, Default)]
-struct SourceLine {
-    /// The line with string/char literals blanked and comments removed.
-    code: String,
-    /// Concatenated text of `//` and `/* */` comments on the line.
-    comment: String,
-    /// Whether the line is inside a `#[cfg(test)]` module (or is itself a
-    /// `#[test]`-attributed region opener).
-    in_test: bool,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LexState {
-    Normal,
-    Str,
-    RawStr(usize),
-    BlockComment(usize),
-}
-
-/// Lexically split `contents` into per-line code and comment streams and
-/// tag test regions. Purely heuristic (no real parser) but resilient to
-/// strings containing `//`, nested block comments, raw strings and char
-/// literals.
-fn preprocess(contents: &str) -> Vec<SourceLine> {
-    let mut out = Vec::new();
-    let mut state = LexState::Normal;
-    // Brace depth of stripped code, and the depth at which an active
-    // #[cfg(test)] region began.
-    let mut depth = 0usize;
-    let mut test_region: Option<usize> = None;
-    let mut awaiting_test_brace = false;
-
-    for raw in contents.lines() {
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut i = 0usize;
-        while i < bytes.len() {
-            let c = bytes[i];
-            let next = bytes.get(i + 1).copied();
-            match state {
-                LexState::Normal => match c {
-                    '/' if next == Some('/') => {
-                        comment.push_str(&raw[raw.len() - bytes[i..].iter().collect::<String>().len()..]);
-                        break;
-                    }
-                    '/' if next == Some('*') => {
-                        state = LexState::BlockComment(1);
-                        i += 2;
-                    }
-                    '"' => {
-                        code.push('"');
-                        state = LexState::Str;
-                        i += 1;
-                    }
-                    'r' if next == Some('"') || next == Some('#') => {
-                        // Possible raw string r"..." / r#"..."#.
-                        let mut hashes = 0;
-                        let mut j = i + 1;
-                        while bytes.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if bytes.get(j) == Some(&'"') {
-                            code.push('"');
-                            state = LexState::RawStr(hashes);
-                            i = j + 1;
-                        } else {
-                            code.push(c);
-                            i += 1;
-                        }
-                    }
-                    '\'' => {
-                        // Char literal vs lifetime: a literal closes with a
-                        // quote within a few chars (handles escapes).
-                        let mut j = i + 1;
-                        if bytes.get(j) == Some(&'\\') {
-                            j += 2;
-                            while j < bytes.len() && bytes[j] != '\'' {
-                                j += 1;
-                            }
-                        } else {
-                            j += 1;
-                        }
-                        if bytes.get(j) == Some(&'\'') {
-                            code.push_str("' '");
-                            i = j + 1;
-                        } else {
-                            code.push('\'');
-                            i += 1;
-                        }
-                    }
-                    _ => {
-                        code.push(c);
-                        i += 1;
-                    }
-                },
-                LexState::Str => match c {
-                    '\\' => i += 2,
-                    '"' => {
-                        code.push('"');
-                        state = LexState::Normal;
-                        i += 1;
-                    }
-                    _ => i += 1,
-                },
-                LexState::RawStr(hashes) => {
-                    if c == '"' {
-                        let mut ok = true;
-                        for k in 0..hashes {
-                            if bytes.get(i + 1 + k) != Some(&'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            code.push('"');
-                            state = LexState::Normal;
-                            i += 1 + hashes;
-                        } else {
-                            i += 1;
-                        }
-                    } else {
-                        i += 1;
-                    }
-                }
-                LexState::BlockComment(n) => {
-                    if c == '*' && next == Some('/') {
-                        if n == 1 {
-                            state = LexState::Normal;
-                        } else {
-                            state = LexState::BlockComment(n - 1);
-                        }
-                        i += 2;
-                    } else if c == '/' && next == Some('*') {
-                        state = LexState::BlockComment(n + 1);
-                        i += 2;
-                    } else {
-                        comment.push(c);
-                        i += 1;
-                    }
-                }
-            }
-        }
-        // Unterminated single-line string: bail back to normal (heuristic;
-        // multi-line string *literal contents* are then seen as code, but
-        // every check token is unlikely inside one).
-        if state == LexState::Str {
-            state = LexState::Normal;
-        }
-
-        // Test-region tracking on the stripped code.
-        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
-            awaiting_test_brace = true;
-        }
-        let line_started_in_test = test_region.is_some();
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    if awaiting_test_brace && test_region.is_none() {
-                        test_region = Some(depth);
-                        awaiting_test_brace = false;
-                    }
-                }
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    if let Some(d) = test_region {
-                        if depth < d {
-                            test_region = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        let in_test = line_started_in_test || test_region.is_some() || awaiting_test_brace;
-        out.push(SourceLine { code, comment, in_test });
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Suppression comments.
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Default)]
-struct Allows {
-    /// (1-based line, check) pairs whose findings are suppressed.
-    allowed: BTreeMap<(usize, Check), String>,
-    /// Malformed allows (missing reason / unknown check), already as
-    /// violations.
-    errors: Vec<(usize, String)>,
-}
-
-/// Extract `lint:allow(check): reason` annotations. A trailing allow
-/// applies to its own line; a standalone comment line applies to the next
-/// line that contains code.
-fn collect_allows(lines: &[SourceLine]) -> Allows {
-    let mut allows = Allows::default();
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let Some(pos) = line.comment.find("lint:allow(") else { continue };
-        let rest = &line.comment[pos + "lint:allow(".len()..];
-        let Some(close) = rest.find(')') else {
-            allows
-                .errors
-                .push((lineno, "malformed lint:allow (missing `)`)".to_string()));
-            continue;
-        };
-        let name = &rest[..close];
-        let Some(check) = Check::from_name(name) else {
-            allows
-                .errors
-                .push((lineno, format!("lint:allow names unknown check `{name}`")));
-            continue;
-        };
-        let after = rest[close + 1..].trim_start();
-        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
-        if reason.is_empty() {
-            allows.errors.push((
-                lineno,
-                format!("lint:allow({name}) requires a reason: `// lint:allow({name}): <why>`"),
-            ));
-            continue;
-        }
-        // Standalone comment line: cover the next line with code.
-        let target = if line.code.trim().is_empty() {
-            lines
-                .iter()
-                .enumerate()
-                .skip(idx + 1)
-                .find(|(_, l)| !l.code.trim().is_empty())
-                .map(|(j, _)| j + 1)
-                .unwrap_or(lineno)
-        } else {
-            lineno
-        };
-        allows.allowed.insert((target, check), reason.to_string());
-    }
-    allows
-}
-
-// ---------------------------------------------------------------------------
-// Per-file checks.
+// Line-oriented checks (ported from the v1 lexical pass; they now consume
+// the lexer-derived per-line view instead of the ad-hoc string scanner).
 // ---------------------------------------------------------------------------
 
 /// Identifier fragments that signal a unit-bearing quantity.
@@ -627,92 +432,168 @@ fn check_sim_determinism(path: &Path, lines: &[SourceLine]) -> Vec<Violation> {
     out
 }
 
-/// lock-discipline: a `MutexGuard` binding must not stay live across a
-/// channel `send(`/`recv(` or a thread `join()`.
-fn check_lock_discipline(path: &Path, lines: &[SourceLine]) -> Vec<Violation> {
+/// float-determinism: partial f64 orders and NaN injection in planes that
+/// must replay bit-identically.
+fn check_float_determinism(path: &Path, lines: &[SourceLine]) -> Vec<Violation> {
     let mut out = Vec::new();
-    // Active guards: (name, minimum depth the guard's scope keeps).
-    let mut guards: Vec<(String, usize)> = Vec::new();
-    let mut depth = 0usize;
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
         let code = &line.code;
-        let opens = code.matches('{').count();
-        let closes = code.matches('}').count();
-
-        // Blocking ops while any guard is live (checked before this line's
-        // own binding registers: a binding and a send on one line is also
-        // flagged below).
-        let blocking = code.contains(".send(")
-            || code.contains(".recv(")
-            || code.contains(".recv_timeout(")
-            || code.contains(".join()");
-        if blocking {
-            for (name, _) in &guards {
+        if code.contains(".partial_cmp(") {
+            out.push(Violation {
+                check: Check::FloatDeterminism,
+                path: path.to_path_buf(),
+                line: idx + 1,
+                message: "`.partial_cmp(` is not a total order (None on NaN) and makes sort \
+                          results input-order-dependent; compare f64 keys with f64::total_cmp"
+                    .to_string(),
+            });
+        }
+        for needle in ["f64::NAN", "f32::NAN"] {
+            if code.contains(needle) {
                 out.push(Violation {
-                    check: Check::LockDiscipline,
+                    check: Check::FloatDeterminism,
                     path: path.to_path_buf(),
                     line: idx + 1,
                     message: format!(
-                        "channel/thread blocking op while MutexGuard `{name}` is live; \
-                         drop the guard (narrow scope or `drop({name})`) before blocking"
+                        "`{needle}` literal: NaN poisons every downstream comparison and \
+                         breaks bit-reproducible replay; use an Option or a finite sentinel"
                     ),
                 });
             }
         }
-
-        // Explicit drops end a guard early.
-        guards.retain(|(name, _)| !code.contains(&format!("drop({name})")));
-
-        // New guard binding?
-        if code.contains(".lock()") {
-            if let Some(name) = lock_binding_name(code) {
-                let activation = depth + opens.saturating_sub(closes).min(1);
-                if blocking {
-                    out.push(Violation {
-                        check: Check::LockDiscipline,
-                        path: path.to_path_buf(),
-                        line: idx + 1,
-                        message: format!(
-                            "MutexGuard `{name}` acquired on a line that also blocks on a \
-                             channel/thread op"
-                        ),
-                    });
-                }
-                guards.push((name, activation.max(depth)));
-            }
-        }
-
-        depth = (depth + opens).saturating_sub(closes);
-        guards.retain(|(_, d)| depth >= *d);
     }
     out
 }
 
-/// Extract the binding name from `let g = ...lock()...` or
-/// `if/while let Ok(g) = ...lock()...`.
-fn lock_binding_name(code: &str) -> Option<String> {
-    let let_pos = code.find("let ")?;
-    let after = &code[let_pos + 4..];
-    let after = after.trim_start();
-    let after = after.strip_prefix("Ok(").unwrap_or(after);
-    let after = after.trim_start().strip_prefix("mut ").unwrap_or(after).trim_start();
-    let name: String = after
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    // The binding must precede the `.lock()` call on the line.
-    if name.is_empty() || code.find(".lock()") < Some(let_pos) {
-        None
-    } else {
-        Some(name)
+// ---------------------------------------------------------------------------
+// Lock-order cycle detection over dataflow edges.
+// ---------------------------------------------------------------------------
+
+/// Tarjan SCC over the lock graph; components are returned sorted.
+fn lock_sccs<'a>(adj: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Vec<Vec<&'a str>> {
+    struct T<'a> {
+        index: BTreeMap<&'a str, usize>,
+        low: BTreeMap<&'a str, usize>,
+        on_stack: BTreeSet<&'a str>,
+        stack: Vec<&'a str>,
+        next: usize,
+        out: Vec<Vec<&'a str>>,
     }
+    fn strong<'a>(v: &'a str, adj: &BTreeMap<&'a str, BTreeSet<&'a str>>, t: &mut T<'a>) {
+        t.index.insert(v, t.next);
+        t.low.insert(v, t.next);
+        t.next += 1;
+        t.stack.push(v);
+        t.on_stack.insert(v);
+        if let Some(ns) = adj.get(v) {
+            for &w in ns {
+                if !t.index.contains_key(w) {
+                    strong(w, adj, t);
+                    let lw = t.low.get(w).copied().unwrap_or(0);
+                    if lw < t.low.get(v).copied().unwrap_or(0) {
+                        t.low.insert(v, lw);
+                    }
+                } else if t.on_stack.contains(w) {
+                    let iw = t.index.get(w).copied().unwrap_or(0);
+                    if iw < t.low.get(v).copied().unwrap_or(0) {
+                        t.low.insert(v, iw);
+                    }
+                }
+            }
+        }
+        if t.low.get(v) == t.index.get(v) {
+            let mut comp = Vec::new();
+            while let Some(w) = t.stack.pop() {
+                t.on_stack.remove(w);
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort_unstable();
+            t.out.push(comp);
+        }
+    }
+    let mut t = T {
+        index: BTreeMap::new(),
+        low: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for &v in adj.keys() {
+        if !t.index.contains_key(v) {
+            strong(v, adj, &mut t);
+        }
+    }
+    t.out.sort();
+    t.out
+}
+
+/// Report acquisition-order cycles. With `cross_file_only`, components
+/// whose edges all come from one file are skipped (they were already
+/// reported by the per-file pass).
+fn lock_order_cycles(
+    edges: &[(PathBuf, dataflow::LockEdge)],
+    cross_file_only: bool,
+) -> Vec<Violation> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (_, e) in edges {
+        if e.held != e.acquired {
+            adj.entry(&e.held).or_default().insert(&e.acquired);
+            adj.entry(&e.acquired).or_default();
+        }
+    }
+    let mut out = Vec::new();
+    for comp in lock_sccs(&adj) {
+        if comp.len() < 2 {
+            continue;
+        }
+        let set: BTreeSet<&str> = comp.iter().copied().collect();
+        let members: Vec<&(PathBuf, dataflow::LockEdge)> = edges
+            .iter()
+            .filter(|(_, e)| {
+                e.held != e.acquired
+                    && set.contains(e.held.as_str())
+                    && set.contains(e.acquired.as_str())
+            })
+            .collect();
+        let files: BTreeSet<&PathBuf> = members.iter().map(|(f, _)| f).collect();
+        if cross_file_only && files.len() < 2 {
+            continue;
+        }
+        let Some((afile, aedge)) = members
+            .iter()
+            .map(|(f, e)| (f, e))
+            .min_by(|a, b| (a.0, a.1.line).cmp(&(b.0, b.1.line)))
+        else {
+            continue;
+        };
+        let detail: Vec<String> = members
+            .iter()
+            .map(|(f, e)| format!("{}→{} at {}:{}", e.held, e.acquired, f.display(), e.line))
+            .collect();
+        out.push(Violation {
+            check: Check::LockOrder,
+            path: afile.to_path_buf(),
+            line: aedge.line,
+            message: format!(
+                "lock-order cycle between {{{}}}: inconsistent acquisition order can \
+                 deadlock when the paths interleave ({})",
+                comp.join(", "),
+                detail.join("; ")
+            ),
+        });
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
-// Workspace-level driving.
+// Per-file driving.
 // ---------------------------------------------------------------------------
 
 /// Which checks apply to a workspace-relative `.rs` path.
@@ -732,7 +613,11 @@ fn checks_for(rel: &Path) -> Vec<Check> {
     if UNIT_FILES.iter().any(|f| p.ends_with(f)) {
         checks.push(Check::UnitConfusion);
     }
-    if p.contains("crates/runtime/src/") || p.contains("crates/core/src/") {
+    if p.contains("crates/runtime/src/")
+        || p.contains("crates/core/src/")
+        || p.contains("crates/kvcache/src/")
+        || p.contains("crates/lint/src/")
+    {
         checks.push(Check::PanicFreedom);
     }
     if p.contains("crates/sim/src/")
@@ -743,42 +628,141 @@ fn checks_for(rel: &Path) -> Vec<Check> {
     }
     if p.contains("crates/runtime/src/") {
         checks.push(Check::LockDiscipline);
+        checks.push(Check::LockOrder);
+    }
+    if p.contains("crates/kvcache/src/")
+        || p.contains("crates/core/src/")
+        || p.contains("crates/sim/src/")
+    {
+        checks.push(Check::NewtypeEscape);
+    }
+    if p.contains("crates/sim/src/")
+        || p.contains("crates/metrics/src/")
+        || p.contains("crates/workload/src/")
+        || p.contains("crates/core/src/")
+        || p.contains("crates/lint/src/")
+    {
+        checks.push(Check::FloatDeterminism);
+    }
+    // Stale-suppression applies everywhere an allow could live.
+    if p.contains("/src/") {
+        checks.push(Check::StaleSuppression);
     }
     checks
 }
 
 /// Run `checks` against one Rust source text. Suppressions are honoured;
-/// malformed suppressions are appended as violations of the named (or
-/// first) check.
+/// malformed or stale suppressions are appended as violations.
 pub fn lint_rust_source(path: &Path, contents: &str, checks: &[Check]) -> Vec<Violation> {
-    let lines = preprocess(contents);
-    let allows = collect_allows(&lines);
-    let mut violations = Vec::new();
+    lint_rust_source_with_edges(path, contents, checks).0
+}
+
+/// Like [`lint_rust_source`], additionally returning the file's lock
+/// acquisition-order edges (non-empty only when [`Check::LockOrder`] is
+/// requested) so [`lint_workspace`] can assemble the *global* lock graph.
+pub fn lint_rust_source_with_edges(
+    path: &Path,
+    contents: &str,
+    checks: &[Check],
+) -> (Vec<Violation>, Vec<(PathBuf, dataflow::LockEdge)>) {
+    let lexed = lexer::lex(contents);
+    let lines = syntax::source_lines(&lexed);
+    let allows = syntax::collect_allows(&lexed, &lines);
+    let fns = syntax::functions(&lexed, &lines);
+
+    // The guard dataflow runs once; both lock families consume it.
+    let mut discipline: Vec<(usize, String)> = Vec::new();
+    let mut order: Vec<(usize, String)> = Vec::new();
+    let mut edges: Vec<(PathBuf, dataflow::LockEdge)> = Vec::new();
+    if checks.contains(&Check::LockDiscipline) || checks.contains(&Check::LockOrder) {
+        for f in fns.iter().filter(|f| !f.in_test) {
+            let facts = dataflow::lock_facts(f);
+            discipline.extend(facts.violations);
+            order.extend(facts.order_violations);
+            edges.extend(facts.edges.into_iter().map(|e| (path.to_path_buf(), e)));
+        }
+        // Nested fns are scanned both standalone and inside their parent:
+        // dedup the facts.
+        edges.sort_by(|a, b| {
+            (&a.0, &a.1.held, &a.1.acquired, a.1.line)
+                .cmp(&(&b.0, &b.1.held, &b.1.acquired, b.1.line))
+        });
+        edges.dedup();
+    }
+
+    let mk = |check: Check, (line, message): &(usize, String)| Violation {
+        check,
+        path: path.to_path_buf(),
+        line: *line,
+        message: message.clone(),
+    };
+
+    let mut raw: Vec<Violation> = Vec::new();
     for &check in checks {
-        let found = match check {
-            Check::UnitConfusion => check_unit_confusion(path, &lines),
-            Check::PanicFreedom => check_panic_freedom(path, &lines),
-            Check::SimDeterminism => check_sim_determinism(path, &lines),
-            Check::LockDiscipline => check_lock_discipline(path, &lines),
-            Check::VendorHygiene => Vec::new(),
-        };
-        for v in found {
-            if allows.allowed.contains_key(&(v.line, check)) {
-                continue;
+        match check {
+            Check::UnitConfusion => raw.extend(check_unit_confusion(path, &lines)),
+            Check::PanicFreedom => raw.extend(check_panic_freedom(path, &lines)),
+            Check::SimDeterminism => raw.extend(check_sim_determinism(path, &lines)),
+            Check::FloatDeterminism => raw.extend(check_float_determinism(path, &lines)),
+            Check::LockDiscipline => {
+                raw.extend(discipline.iter().map(|v| mk(Check::LockDiscipline, v)));
             }
-            violations.push(v);
+            Check::LockOrder => {
+                raw.extend(order.iter().map(|v| mk(Check::LockOrder, v)));
+                raw.extend(lock_order_cycles(&edges, false));
+            }
+            Check::NewtypeEscape => {
+                for f in fns.iter().filter(|f| !f.in_test) {
+                    raw.extend(
+                        dataflow::unit_taint(f).iter().map(|v| mk(Check::NewtypeEscape, v)),
+                    );
+                }
+            }
+            Check::VendorHygiene | Check::StaleSuppression => {}
+        }
+    }
+    // Dedup nested-fn double reports.
+    let mut seen: BTreeSet<(Check, usize, String)> = BTreeSet::new();
+    raw.retain(|v| seen.insert((v.check, v.line, v.message.clone())));
+
+    // Apply suppressions, remembering which allows earned their keep.
+    let mut used: BTreeSet<(usize, Check)> = BTreeSet::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    for v in raw {
+        if allows.allowed.contains_key(&(v.line, v.check)) {
+            used.insert((v.line, v.check));
+            continue;
+        }
+        violations.push(v);
+    }
+    if checks.contains(&Check::StaleSuppression) {
+        for ((target, check), site) in &allows.allowed {
+            if !used.contains(&(*target, *check)) {
+                violations.push(Violation {
+                    check: Check::StaleSuppression,
+                    path: path.to_path_buf(),
+                    line: site.comment_line,
+                    message: format!(
+                        "stale suppression: `lint:allow({check})` targets line {target} but \
+                         suppresses no finding (reason was: \"{}\"); remove it",
+                        site.reason
+                    ),
+                });
+            }
         }
     }
     for (line, message) in &allows.errors {
         violations.push(Violation {
-            check: Check::PanicFreedom, // reported under a fixed family so counts are stable
+            check: Check::StaleSuppression,
             path: path.to_path_buf(),
             line: *line,
             message: message.clone(),
         });
     }
     violations.sort_by(|a, b| (a.line, a.check).cmp(&(b.line, b.check)));
-    violations
+    let edges_out =
+        if checks.contains(&Check::LockOrder) { edges } else { Vec::new() };
+    (violations, edges_out)
 }
 
 /// vendor-hygiene over a workspace root: every `path = "vendor/..."`
@@ -860,13 +844,15 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lint the workspace rooted at `root`: all five families, scoped per
-/// [`checks_for`], plus vendor hygiene. Paths in the result are relative to
+/// Lint the workspace rooted at `root`: all families, scoped per
+/// [`checks_for`], plus vendor hygiene and the *global* lock-order graph
+/// assembled across every runtime file. Paths in the result are relative to
 /// `root`.
 pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     let mut files = Vec::new();
     collect_rust_files(&root.join("crates"), &mut files);
     let mut violations = Vec::new();
+    let mut all_edges: Vec<(PathBuf, dataflow::LockEdge)> = Vec::new();
     for file in files {
         let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
         let checks = checks_for(&rel);
@@ -874,8 +860,13 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
             continue;
         }
         let Ok(contents) = fs::read_to_string(&file) else { continue };
-        violations.extend(lint_rust_source(&rel, &contents, &checks));
+        let (vs, edges) = lint_rust_source_with_edges(&rel, &contents, &checks);
+        violations.extend(vs);
+        all_edges.extend(edges);
     }
+    // Cross-file cycles: per-file passes each saw only their own slice of
+    // the acquisition graph.
+    violations.extend(lock_order_cycles(&all_edges, true));
     violations.extend(check_vendor_hygiene(root));
     violations.sort_by(|a, b| (&a.path, a.line, a.check).cmp(&(&b.path, b.line, b.check)));
     violations
@@ -978,7 +969,7 @@ mod tests {
     fn lock_across_send_is_flagged_and_drop_clears_it() {
         let bad = "fn f() {\n    let g = m.lock().unwrap();\n    tx.send(*g).unwrap();\n}\n";
         let v: Vec<_> = lint(bad, &[Check::LockDiscipline]);
-        assert_eq!(v.len(), 1);
+        assert_eq!(v.len(), 1, "{v:#?}");
         assert_eq!(v[0].line, 3);
 
         let good = "fn f() {\n    let g = m.lock().unwrap();\n    let v = *g;\n    drop(g);\n    tx.send(v).unwrap();\n}\n";
@@ -986,6 +977,73 @@ mod tests {
 
         let scoped = "fn f() {\n    {\n        let g = m.lock().unwrap();\n    }\n    tx.send(1).unwrap();\n}\n";
         assert!(lint(scoped, &[Check::LockDiscipline]).is_empty());
+    }
+
+    #[test]
+    fn multiline_guard_binding_is_tracked() {
+        // The v1 lexical check required `let` and `.lock()` on one line;
+        // this binding spans three.
+        let src = "fn f() {\n    let g = m\n        .lock()\n        .unwrap();\n    let v = rx.recv().unwrap();\n    let _ = (*g, v);\n}\n";
+        let v = lint(src, &[Check::LockDiscipline]);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("MutexGuard `g` is live"));
+    }
+
+    #[test]
+    fn deref_copy_does_not_bind_the_guard() {
+        let src = "fn f() {\n    let v = *m.lock().unwrap();\n    tx.send(v).unwrap();\n}\n";
+        assert!(lint(src, &[Check::LockDiscipline]).is_empty());
+    }
+
+    #[test]
+    fn lock_order_cycle_is_reported_once() {
+        let src = "fn fwd() {\n    let a = alpha.lock().unwrap();\n    let b = beta.lock().unwrap();\n    let _ = (a, b);\n}\nfn bwd() {\n    let b = beta.lock().unwrap();\n    let a = alpha.lock().unwrap();\n    let _ = (a, b);\n}\n";
+        let v = lint(src, &[Check::LockOrder]);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("lock-order cycle"));
+        assert!(v[0].message.contains("alpha"));
+        assert!(v[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let src = "fn one() {\n    let a = alpha.lock().unwrap();\n    let b = beta.lock().unwrap();\n    let _ = (a, b);\n}\nfn two() {\n    let a = alpha.lock().unwrap();\n    let b = beta.lock().unwrap();\n    let _ = (a, b);\n}\n";
+        assert!(lint(src, &[Check::LockOrder]).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_is_a_violation() {
+        let src = "fn f() {\n    // lint:allow(panic-freedom): nothing here panics any more\n    let x = 1 + 1;\n    let _ = x;\n}\n";
+        let v = lint(src, &[Check::PanicFreedom, Check::StaleSuppression]);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].check, Check::StaleSuppression);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("stale suppression"));
+    }
+
+    #[test]
+    fn live_allow_is_not_stale() {
+        let src = "fn f() {\n    a.expect(\"x\"); // lint:allow(panic-freedom): invariant documented\n}\n";
+        let v = lint(src, &[Check::PanicFreedom, Check::StaleSuppression]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn float_determinism_findings() {
+        let src = "fn f(xs: &mut Vec<f64>) -> f64 {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    f64::NAN\n}\n";
+        let v = lint(src, &[Check::FloatDeterminism]);
+        assert_eq!(v.len(), 2, "{v:#?}");
+        assert!(v.iter().any(|v| v.message.contains("total_cmp")));
+        assert!(v.iter().any(|v| v.message.contains("NaN")));
+    }
+
+    #[test]
+    fn partial_ord_impls_are_not_flagged() {
+        // Defining `fn partial_cmp` (no leading dot) is fine; only *calls*
+        // are a determinism hazard.
+        let src = "impl PartialOrd for E {\n    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n        Some(self.cmp(other))\n    }\n}\n";
+        assert!(lint(src, &[Check::FloatDeterminism]).is_empty());
     }
 
     #[test]

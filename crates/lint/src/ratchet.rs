@@ -1,0 +1,154 @@
+//! The CI ratchet: per-family violation counts may only go *down*.
+//!
+//! `ci/lint-baseline.json` records the accepted count for every check
+//! family. The lint stage fails when any family's current count exceeds
+//! its baseline, and prints a reminder to tighten the baseline when a
+//! family has dropped (so the floor keeps ratcheting toward zero). The
+//! JSON is written and parsed by hand — same zero-dependency rule as the
+//! rest of the crate.
+
+use std::collections::BTreeMap;
+
+use crate::{Check, Violation};
+
+/// Count violations per family. Every family appears (zero included) so
+/// the baseline file is self-documenting and diffs cleanly.
+pub fn family_counts(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for c in Check::ALL {
+        counts.insert(c.name(), 0);
+    }
+    for v in violations {
+        if let Some(slot) = counts.get_mut(v.check.name()) {
+            *slot += 1;
+        }
+    }
+    counts
+}
+
+/// Render counts as the baseline JSON document (keys in [`Check::ALL`]
+/// order, one per line — deterministic byte-for-byte).
+pub fn baseline_json(counts: &BTreeMap<&'static str, usize>) -> String {
+    let mut s = String::from("{\n");
+    let total = Check::ALL.len();
+    for (i, c) in Check::ALL.iter().enumerate() {
+        let n = counts.get(c.name()).copied().unwrap_or(0);
+        s.push_str(&format!("  \"{}\": {}", c.name(), n));
+        if i + 1 < total {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Parse a baseline document. Tolerant scanner: extracts every
+/// `"name": <integer>` pair; returns `None` when nothing parses (corrupt
+/// file) so callers can fail loudly rather than treat it as all-zero.
+pub fn parse_baseline(text: &str) -> Option<BTreeMap<String, usize>> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(q0) = rest.find('"') {
+        let after_key = &rest[q0 + 1..];
+        let Some(q1) = after_key.find('"') else { break };
+        let key = &after_key[..q1];
+        let tail = &after_key[q1 + 1..];
+        let tail = tail.trim_start();
+        if let Some(num_part) = tail.strip_prefix(':') {
+            let num_part = num_part.trim_start();
+            let digits: String = num_part.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if !digits.is_empty() {
+                if let Ok(n) = digits.parse::<usize>() {
+                    out.insert(key.to_string(), n);
+                }
+            }
+        }
+        rest = tail;
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Ratchet verdict for one family.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Drift {
+    /// Count exceeds the baseline: the gate must fail.
+    Regressed { family: &'static str, current: usize, baseline: usize },
+    /// Count fell below the baseline: the baseline should be re-written.
+    Improvable { family: &'static str, current: usize, baseline: usize },
+}
+
+/// Compare current counts against the baseline. Families missing from the
+/// baseline are treated as baseline 0 (new families start fully enforced).
+pub fn drift(
+    current: &BTreeMap<&'static str, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Drift> {
+    let mut out = Vec::new();
+    for c in Check::ALL {
+        let cur = current.get(c.name()).copied().unwrap_or(0);
+        let base = baseline.get(c.name()).copied().unwrap_or(0);
+        if cur > base {
+            out.push(Drift::Regressed { family: c.name(), current: cur, baseline: base });
+        } else if cur < base {
+            out.push(Drift::Improvable { family: c.name(), current: cur, baseline: base });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn v(check: Check) -> Violation {
+        Violation { check, path: PathBuf::from("x.rs"), line: 1, message: "m".to_string() }
+    }
+
+    #[test]
+    fn counts_roundtrip_through_json() {
+        let vs = vec![v(Check::PanicFreedom), v(Check::PanicFreedom), v(Check::LockOrder)];
+        let counts = family_counts(&vs);
+        let json = baseline_json(&counts);
+        let parsed = parse_baseline(&json).expect("parses");
+        assert_eq!(parsed.get("panic-freedom"), Some(&2));
+        assert_eq!(parsed.get("lock-order"), Some(&1));
+        assert_eq!(parsed.get("unit-confusion"), Some(&0));
+        assert_eq!(parsed.len(), Check::ALL.len());
+    }
+
+    #[test]
+    fn ratchet_flags_increases_and_hints_decreases() {
+        let current = family_counts(&[v(Check::LockOrder)]);
+        let mut baseline = BTreeMap::new();
+        baseline.insert("lock-order".to_string(), 0usize);
+        baseline.insert("panic-freedom".to_string(), 3usize);
+        let d = drift(&current, &baseline);
+        assert!(d.contains(&Drift::Regressed { family: "lock-order", current: 1, baseline: 0 }));
+        assert!(
+            d.contains(&Drift::Improvable { family: "panic-freedom", current: 0, baseline: 3 })
+        );
+    }
+
+    #[test]
+    fn missing_families_default_to_zero_baseline() {
+        let current = family_counts(&[v(Check::StaleSuppression)]);
+        let baseline = BTreeMap::new();
+        // An empty map would fail parse, but drift() itself treats missing
+        // entries as 0 — new families are enforced from day one.
+        let d = drift(&current, &baseline);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d.first(), Some(Drift::Regressed { family: "stale-suppression", .. })));
+    }
+
+    #[test]
+    fn corrupt_baseline_is_rejected() {
+        assert!(parse_baseline("not json at all").is_none());
+        assert!(parse_baseline("").is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! SARIF 2.1.0 output, hand-rolled (zero dependencies).
+//!
+//! The emitted log has one run with the `gllm-lint` tool driver, one
+//! reporting descriptor per check family, and one result per violation.
+//! Output is deterministic: violations are emitted in the order given
+//! (already sorted by path/line/check upstream) and rules in
+//! [`Check::ALL`] order, so regenerated files are byte-identical for the
+//! same findings.
+
+use crate::{Check, Violation};
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render violations as a SARIF 2.1.0 log.
+pub fn to_sarif(violations: &[Violation]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"gllm-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://github.com/gllm/gllm\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, c) in Check::ALL.iter().enumerate() {
+        s.push_str("            {\n");
+        s.push_str(&format!("              \"id\": \"{}\",\n", esc(c.name())));
+        s.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": \"{}\" }}\n",
+            esc(c.describe())
+        ));
+        s.push_str("            }");
+        if i + 1 < Check::ALL.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        let uri = v.path.to_string_lossy().replace('\\', "/");
+        s.push_str("        {\n");
+        s.push_str(&format!("          \"ruleId\": \"{}\",\n", esc(v.check.name())));
+        s.push_str("          \"level\": \"error\",\n");
+        s.push_str(&format!(
+            "          \"message\": {{ \"text\": \"{}\" }},\n",
+            esc(&v.message)
+        ));
+        s.push_str("          \"locations\": [\n            {\n");
+        s.push_str("              \"physicalLocation\": {\n");
+        s.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
+            esc(&uri)
+        ));
+        // SARIF requires startLine >= 1; whole-file findings use line 1.
+        s.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            v.line.max(1)
+        ));
+        s.push_str("              }\n            }\n          ]\n        }");
+        if i + 1 < violations.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn sarif_contains_schema_rules_and_results() {
+        let v = vec![Violation {
+            check: Check::LockOrder,
+            path: PathBuf::from("crates/runtime/src/driver.rs"),
+            line: 42,
+            message: "cycle between {a, b} with \"quotes\"".to_string(),
+        }];
+        let s = to_sarif(&v);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"gllm-lint\""));
+        assert!(s.contains("\"ruleId\": \"lock-order\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("\\\"quotes\\\""), "strings must be JSON-escaped: {s}");
+        // One rule descriptor per family.
+        for c in Check::ALL {
+            assert!(s.contains(&format!("\"id\": \"{}\"", c.name())));
+        }
+    }
+
+    #[test]
+    fn empty_run_is_valid_and_whole_file_findings_clamp_to_line_1() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+        let v = vec![Violation {
+            check: Check::VendorHygiene,
+            path: PathBuf::from("Cargo.toml"),
+            line: 0,
+            message: "whole-file".to_string(),
+        }];
+        assert!(to_sarif(&v).contains("\"startLine\": 1"));
+    }
+}

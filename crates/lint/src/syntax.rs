@@ -1,0 +1,339 @@
+//! Syntax-level views on the lexed token stream: per-line stripped source
+//! with `#[cfg(test)]` tagging, `lint:allow` suppression collection, and
+//! per-function token slices for the dataflow analyses.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::Check;
+
+/// One physical line after lexical preprocessing, as consumed by the
+/// line-oriented check families.
+#[derive(Debug, Clone, Default)]
+pub struct SourceLine {
+    /// The line with string/char literals blanked and comments removed.
+    pub code: String,
+    /// Concatenated text of `//` and `/* */` comments on the line.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` module or a
+    /// `#[test]`-attributed region.
+    pub in_test: bool,
+}
+
+/// Build the per-line view from the lexer output. Test-region tagging uses
+/// brace depth over the stripped code — the lexer guarantees braces inside
+/// strings, chars and comments are already gone.
+pub fn source_lines(lexed: &Lexed) -> Vec<SourceLine> {
+    let mut out = Vec::with_capacity(lexed.lines.len());
+    let mut depth = 0usize;
+    let mut test_region: Option<usize> = None;
+    let mut awaiting_test_brace = false;
+    for strip in &lexed.lines {
+        let code = strip.code.clone();
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            awaiting_test_brace = true;
+        }
+        let line_started_in_test = test_region.is_some();
+        let mut entered_region = false;
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if awaiting_test_brace && test_region.is_none() {
+                        test_region = Some(depth);
+                        awaiting_test_brace = false;
+                        entered_region = true;
+                    }
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if let Some(d) = test_region {
+                        if depth < d {
+                            test_region = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `entered_region` covers one-line test fns whose region opens and
+        // closes within the same physical line.
+        let in_test =
+            line_started_in_test || test_region.is_some() || awaiting_test_brace || entered_region;
+        out.push(SourceLine { code, comment: strip.comment.clone(), in_test });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Suppression comments.
+// ---------------------------------------------------------------------------
+
+/// Parsed `lint:allow` annotations for one file.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// `(1-based target line, check)` pairs whose findings are suppressed,
+    /// with the declared reason and the line the allow comment sits on.
+    pub allowed: BTreeMap<(usize, Check), AllowSite>,
+    /// Malformed allows (missing reason / unknown check), already phrased
+    /// as violation messages.
+    pub errors: Vec<(usize, String)>,
+}
+
+/// Where an allow was written and why.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// Line the `lint:allow` comment itself is on.
+    pub comment_line: usize,
+    /// The mandatory reason text.
+    pub reason: String,
+}
+
+/// Extract `lint:allow(check): reason` annotations. A trailing allow
+/// applies to its own line; a standalone comment line applies to the next
+/// line that contains code. Doc comments are excluded: an allow inside
+/// `///` or `//!` is documentation, not a live suppression.
+pub fn collect_allows(lexed: &Lexed, lines: &[SourceLine]) -> Allows {
+    let mut allows = Allows::default();
+    for c in &lexed.comments {
+        if c.doc {
+            continue;
+        }
+        let Some(pos) = c.text.find("lint:allow(") else { continue };
+        let lineno = c.line;
+        let rest = &c.text[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            allows.errors.push((lineno, "malformed lint:allow (missing `)`)".to_string()));
+            continue;
+        };
+        let name = &rest[..close];
+        if name == Check::StaleSuppression.name() {
+            allows.errors.push((
+                lineno,
+                "lint:allow(stale-suppression) is not allowed: fix or remove the stale allow"
+                    .to_string(),
+            ));
+            continue;
+        }
+        let Some(check) = Check::from_name(name) else {
+            allows.errors.push((lineno, format!("lint:allow names unknown check `{name}`")));
+            continue;
+        };
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            allows.errors.push((
+                lineno,
+                format!("lint:allow({name}) requires a reason: `// lint:allow({name}): <why>`"),
+            ));
+            continue;
+        }
+        // Standalone comment line: cover the next line with code.
+        let own_line_has_code =
+            lines.get(lineno - 1).map(|l| !l.code.trim().is_empty()).unwrap_or(false);
+        let target = if own_line_has_code {
+            lineno
+        } else {
+            lines
+                .iter()
+                .enumerate()
+                .skip(lineno)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map(|(j, _)| j + 1)
+                .unwrap_or(lineno)
+        };
+        allows.allowed.insert(
+            (target, check),
+            AllowSite { comment_line: lineno, reason: reason.to_string() },
+        );
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------------
+// Function extraction.
+// ---------------------------------------------------------------------------
+
+/// One `fn` item: its signature and body token slices.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// `true` for plain `pub` (not `pub(crate)` / `pub(super)`).
+    pub is_pub: bool,
+    /// `true` inside `#[cfg(test)]` / under `#[test]`.
+    pub in_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Tokens from `fn` to just before the body `{` (or the `;`).
+    pub sig: Vec<Tok>,
+    /// Body tokens including the outer braces (empty for declarations).
+    pub body: Vec<Tok>,
+}
+
+/// Extract every function item from the token stream. Nested functions are
+/// also returned (and their tokens additionally appear inside the enclosing
+/// body — the dataflow analyses are conservative about that). `lines`
+/// supplies the test tagging.
+pub fn functions(lexed: &Lexed, lines: &[SourceLine]) -> Vec<FnItem> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // `fn` as part of `fn` pointer types (`fn(` immediately) has no
+        // name ident; skip it.
+        let Some(name_tok) = toks.get(i + 1) else { break };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[i].line;
+        // Visibility: look back over `pub` / `pub(crate)` etc.
+        let is_pub = is_plain_pub(toks, i);
+        // Find the body `{` or declaration `;`, skipping delimited groups
+        // (argument parens, where-clause bounds never contain top-level
+        // `{` before the body).
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut body_open = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Open => {
+                    if toks[j].text == "{" && depth == 0 {
+                        body_open = Some(j);
+                        break;
+                    }
+                    depth += 1;
+                }
+                TokKind::Close => depth = depth.saturating_sub(1),
+                TokKind::Punct if toks[j].text == ";" && depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let sig_end = body_open.unwrap_or(j);
+        let sig = toks[i..sig_end.min(toks.len())].to_vec();
+        let body = match body_open {
+            Some(open) => {
+                let mut d = 0usize;
+                let mut k = open;
+                while k < toks.len() {
+                    match toks[k].kind {
+                        TokKind::Open if toks[k].text == "{" => d += 1,
+                        TokKind::Close if toks[k].text == "}" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                toks[open..(k + 1).min(toks.len())].to_vec()
+            }
+            None => Vec::new(),
+        };
+        let in_test = lines.get(fn_line - 1).map(|l| l.in_test).unwrap_or(false);
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            is_pub,
+            in_test,
+            line: fn_line,
+            sig,
+            body,
+        });
+        // Continue scanning from inside the signature so nested fns are
+        // found too.
+        i += 2;
+    }
+    out
+}
+
+/// `pub fn` but not `pub(crate) fn`: walk back over qualifiers.
+fn is_plain_pub(toks: &[Tok], fn_idx: usize) -> bool {
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_ident("const") || t.is_ident("unsafe") || t.is_ident("async") || t.is_ident("extern")
+        {
+            continue;
+        }
+        if t.kind == TokKind::Str {
+            // `extern "C"` ABI string.
+            continue;
+        }
+        if t.is_ident("pub") {
+            // `pub(crate)`/`pub(super)` has `(` after pub — i.e. between
+            // this token and what we already walked.
+            return !matches!(toks.get(k + 1), Some(n) if n.text == "(");
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        let lexed = lex(src);
+        let lines = source_lines(&lexed);
+        functions(&lexed, &lines)
+    }
+
+    #[test]
+    fn extracts_functions_with_bodies_and_visibility() {
+        let src = "pub fn a(x: u32) -> u32 { x + 1 }\npub(crate) fn b() {}\nfn c();\n";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 3);
+        assert!(fs[0].is_pub && fs[0].name == "a" && !fs[0].body.is_empty());
+        assert!(!fs[1].is_pub && fs[1].name == "b");
+        assert!(fs[2].body.is_empty(), "declaration has no body");
+    }
+
+    #[test]
+    fn where_clause_and_generics_do_not_break_body_detection() {
+        let src = "fn g<T: Clone>(x: T) -> Vec<T>\nwhere\n    T: Send,\n{ vec![x] }\n";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].body.iter().any(|t| t.is_ident("vec")));
+    }
+
+    #[test]
+    fn test_functions_are_tagged() {
+        let src = "#[test]\nfn t() { let _ = 1; }\n\nfn hot() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let fs = fns(src);
+        let by_name = |n: &str| fs.iter().find(|f| f.name == n).map(|f| f.in_test);
+        assert_eq!(by_name("t"), Some(true));
+        assert_eq!(by_name("hot"), Some(false));
+        assert_eq!(by_name("helper"), Some(true));
+    }
+
+    #[test]
+    fn doc_comment_allows_are_ignored() {
+        let src = "//! example: // lint:allow(panic-freedom): docs only\nfn f() {}\n";
+        let lexed = lex(src);
+        let lines = source_lines(&lexed);
+        let allows = collect_allows(&lexed, &lines);
+        assert!(allows.allowed.is_empty());
+        assert!(allows.errors.is_empty());
+    }
+
+    #[test]
+    fn stale_suppression_cannot_be_allowed() {
+        let src = "fn f() {} // lint:allow(stale-suppression): nope\n";
+        let lexed = lex(src);
+        let lines = source_lines(&lexed);
+        let allows = collect_allows(&lexed, &lines);
+        assert_eq!(allows.errors.len(), 1);
+        assert!(allows.errors[0].1.contains("not allowed"));
+    }
+}

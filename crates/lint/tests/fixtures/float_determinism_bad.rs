@@ -1,0 +1,17 @@
+//! Fixture: partial f64 orders and NaN injection. Expected: exactly 3
+//! float-determinism findings (two `.partial_cmp(` calls, one NaN
+//! literal).
+
+pub fn p50(xs: &mut Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = xs.len() / 2;
+    xs.get(mid).copied().unwrap_or(0.0)
+}
+
+pub fn poison() -> f64 {
+    f64::NAN
+}
+
+pub fn less(a: f64, b: f64) -> bool {
+    matches!(a.partial_cmp(&b), Some(std::cmp::Ordering::Less))
+}

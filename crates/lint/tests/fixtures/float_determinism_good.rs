@@ -1,0 +1,12 @@
+//! Fixture: total, NaN-safe float ordering. Expected: 0 float-determinism
+//! findings.
+
+pub fn p50(xs: &mut Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let mid = xs.len() / 2;
+    xs.get(mid).copied().unwrap_or(0.0)
+}
+
+pub fn less(a: f64, b: f64) -> bool {
+    a.total_cmp(&b) == std::cmp::Ordering::Less
+}

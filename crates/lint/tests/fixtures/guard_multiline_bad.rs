@@ -1,0 +1,17 @@
+//! Fixture: the seeded multi-statement guard-across-recv case. The v1
+//! lexical check required `let` and `.lock()` on the *same physical line*
+//! to register a guard, so this builder-style binding was invisible to it.
+//! The v2 dataflow engine tracks the binding across lines and statements.
+//! Expected: exactly 1 lock-discipline finding, at the `recv` line.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(state: &Mutex<u64>, rx: &Receiver<u64>) -> u64 {
+    let guard = state
+        .lock()
+        .unwrap();
+    let bias = *guard + 1;
+    let v = rx.recv().unwrap();
+    bias + v
+}

@@ -1,0 +1,28 @@
+//! Fixture: a lock-order cycle between two mutexes plus a re-lock
+//! self-deadlock. Expected: exactly 2 lock-order findings (one cycle
+//! report, one re-lock report).
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+pub fn forward(s: &Shared) -> u32 {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    *a + *b
+}
+
+pub fn backward(s: &Shared) -> u32 {
+    let b = s.beta.lock().unwrap();
+    let a = s.alpha.lock().unwrap();
+    *a + *b
+}
+
+pub fn relock(s: &Shared) -> u32 {
+    let first = s.alpha.lock().unwrap();
+    let again = s.alpha.lock().unwrap();
+    *first + *again
+}

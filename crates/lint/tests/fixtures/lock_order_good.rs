@@ -1,0 +1,28 @@
+//! Fixture: consistent acquisition order (alpha before beta everywhere)
+//! and re-acquisition only after the first guard is dropped. Expected: 0
+//! lock-order findings.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+pub fn one(s: &Shared) -> u32 {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    *a + *b
+}
+
+pub fn two(s: &Shared) -> u32 {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    *a * *b
+}
+
+pub fn sequential(s: &Shared) -> u32 {
+    let first = *s.alpha.lock().unwrap();
+    let second = *s.alpha.lock().unwrap();
+    first + second
+}

@@ -1,0 +1,19 @@
+//! Fixture: raw unit escapes that mix units or cross pub boundaries.
+//! Expected: exactly 3 newtype-escape findings (two cross-unit additions,
+//! one laundered pub return).
+
+use gllm_units::{Blocks, Bytes, Tokens};
+
+pub fn mix(tokens: Tokens, blocks: Blocks) -> usize {
+    let t = tokens.get();
+    let b = blocks.get();
+    t + b
+}
+
+pub fn laundered(capacity: Tokens) -> usize {
+    capacity.get()
+}
+
+pub fn tuple_escape(blocks: Blocks, bytes: Bytes) -> usize {
+    blocks.0 + bytes.0
+}

@@ -1,0 +1,21 @@
+//! Fixture: sanctioned unit handling — same-unit arithmetic re-wrapped in
+//! the newtype, newtypes crossing pub boundaries intact, and raw escapes
+//! confined to private helpers. Expected: 0 newtype-escape findings.
+
+use gllm_units::Tokens;
+
+pub fn same_unit(a: Tokens, b: Tokens) -> Tokens {
+    Tokens(a.get() + b.get())
+}
+
+pub fn newtype_boundary(capacity: Tokens) -> Tokens {
+    capacity
+}
+
+fn private_raw(capacity: Tokens) -> usize {
+    capacity.get()
+}
+
+pub fn uses_private(capacity: Tokens) -> bool {
+    private_raw(capacity) > 0
+}

@@ -1,0 +1,18 @@
+//! Fixture: suppression liveness. One allow still suppresses a finding
+//! (kept), one targets code that no longer panics (stale), and one names a
+//! family that never fired on its line (stale). Expected: exactly 2
+//! stale-suppression findings.
+
+pub fn live() -> u32 {
+    let x: Option<u32> = Some(1);
+    x.expect("present above") // lint:allow(panic-freedom): constructed as Some on the previous line
+}
+
+// lint:allow(panic-freedom): nothing panicky on the next line any more
+pub fn stale() -> u32 {
+    41 + 1
+}
+
+pub fn wrong_family() -> u32 {
+    2 // lint:allow(sim-determinism): this line never had a determinism finding
+}

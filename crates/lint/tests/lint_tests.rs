@@ -112,6 +112,111 @@ fn vendor_hygiene_fixtures() {
     assert!(bad.iter().any(|v| v.message.contains("no vendor/README.md entry")));
 }
 
+// ---------------------------------------------------------------------------
+// v2 dataflow families.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_order_fixtures() {
+    let bad = lint_fixture("lock_order_bad.rs", &[Check::LockOrder]);
+    assert_eq!(bad.len(), 2, "{bad:#?}");
+    assert!(bad.iter().all(|v| v.check == Check::LockOrder));
+    assert_eq!(bad.iter().filter(|v| v.message.contains("lock-order cycle")).count(), 1);
+    assert_eq!(bad.iter().filter(|v| v.message.contains("re-locks")).count(), 1);
+
+    let good = lint_fixture("lock_order_good.rs", &[Check::LockOrder]);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+/// The seeded multi-statement guard-across-recv case from the issue: the
+/// v2 dataflow engine must catch what the v1 lexical check provably could
+/// not see.
+#[test]
+fn multiline_guard_across_recv_is_caught_and_was_invisible_to_v1() {
+    let contents = std::fs::read_to_string(fixture_dir().join("guard_multiline_bad.rs"))
+        .expect("fixture exists");
+
+    // v2: exactly one lock-discipline finding, at the blocking recv.
+    let v = lint_rust_source(
+        Path::new("guard_multiline_bad.rs"),
+        &contents,
+        &[Check::LockDiscipline],
+    );
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert!(v[0].message.contains("MutexGuard `guard` is live"));
+    assert!(contents.lines().nth(v[0].line - 1).unwrap_or("").contains(".recv()"));
+
+    // v1's guard registration required `let` and `.lock()` on one physical
+    // line (see PR 2's `lock_binding_name`). No line of this fixture
+    // satisfies that precondition, so the old check tracked no guard at
+    // all — the violation was invisible by construction.
+    assert!(
+        !contents.lines().any(|l| l.contains("let ") && l.contains(".lock()")),
+        "fixture must keep the binding split across lines"
+    );
+}
+
+#[test]
+fn newtype_escape_fixtures() {
+    let bad = lint_fixture("newtype_escape_bad.rs", &[Check::NewtypeEscape]);
+    assert_eq!(bad.len(), 3, "{bad:#?}");
+    assert!(bad.iter().all(|v| v.check == Check::NewtypeEscape));
+    assert_eq!(bad.iter().filter(|v| v.message.contains("cross-unit")).count(), 2);
+    assert_eq!(bad.iter().filter(|v| v.message.contains("pub fn laundered")).count(), 1);
+
+    let good = lint_fixture("newtype_escape_good.rs", &[Check::NewtypeEscape]);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn float_determinism_fixtures() {
+    let bad = lint_fixture("float_determinism_bad.rs", &[Check::FloatDeterminism]);
+    assert_eq!(bad.len(), 3, "{bad:#?}");
+    assert_eq!(bad.iter().filter(|v| v.message.contains("total_cmp")).count(), 2);
+    assert_eq!(bad.iter().filter(|v| v.message.contains("NaN")).count(), 3);
+
+    let good = lint_fixture("float_determinism_good.rs", &[Check::FloatDeterminism]);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn stale_suppression_fixtures() {
+    let v = lint_fixture(
+        "stale_suppression.rs",
+        &[Check::PanicFreedom, Check::SimDeterminism, Check::StaleSuppression],
+    );
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v.iter().all(|f| f.check == Check::StaleSuppression));
+    assert!(v.iter().all(|f| f.message.contains("stale suppression")));
+}
+
+#[test]
+fn sarif_output_for_a_fixture_names_rules_and_locations() {
+    let bad = lint_fixture("lock_order_bad.rs", &[Check::LockOrder]);
+    let doc = gllm_lint::sarif::to_sarif(&bad);
+    assert!(doc.contains("\"version\": \"2.1.0\""));
+    assert!(doc.contains("\"ruleId\": \"lock-order\""));
+    assert!(doc.contains("lock_order_bad.rs"));
+}
+
+/// Regression for the runtime guard-scope fixes (narrowed audit critical
+/// sections in the driver, poison-recovering `audit_snapshot` in the
+/// server): the real runtime sources must stay clean under the v2 lock
+/// dataflow families specifically, not just the aggregate workspace gate.
+#[test]
+fn runtime_sources_pass_lock_dataflow_checks() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    for name in ["driver.rs", "server.rs", "worker.rs"] {
+        let rel = Path::new("crates/runtime/src").join(name);
+        let contents = std::fs::read_to_string(root.join(&rel)).expect("runtime source exists");
+        let v = lint_rust_source(&rel, &contents, &[Check::LockDiscipline, Check::LockOrder]);
+        assert!(v.is_empty(), "{name} regressed on lock dataflow checks: {v:#?}");
+    }
+}
+
 /// Tier-1 gate: the workspace this crate lives in must be lint-clean. This
 /// is what keeps the five static invariants enforced going forward — any
 /// new violation (or reasonless suppression) fails `cargo test`.

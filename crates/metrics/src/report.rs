@@ -154,7 +154,7 @@ fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut s = xs.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN metrics"));
+    s.sort_by(|a, b| a.total_cmp(b));
     let rank = (p / 100.0) * (s.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -167,8 +167,12 @@ pub fn run_driver(
             let now = t0.elapsed().as_secs_f64();
             if let (Some(a), Some(proposed)) = (auditor.as_mut(), proposed_copy.as_ref()) {
                 a.on_schedule(now, batch, proposed, &plan, caps, kv_before, kv_obs(&kvm));
+                // Snapshot outside the critical section: the server reads
+                // this mutex from another thread, so the guard should only
+                // span the pointer-sized store, not the snapshot build.
+                let snap = a.snapshot();
                 if let Ok(mut shared) = audit_state.lock() {
-                    *shared = Some(a.snapshot());
+                    *shared = Some(snap);
                 }
             }
             ptrace.schedule(
@@ -327,8 +331,11 @@ fn on_result(
     ptrace.complete(now, res.batch, outcome.emitted.len(), outcome.finished.len());
     if let Some(a) = auditor.as_mut() {
         a.on_complete(now, res.batch, &outcome.finished, kv_obs(kvm));
+        // Same narrow-guard rule as the schedule path: build the snapshot
+        // first, hold the lock only for the store.
+        let snap = a.snapshot();
         if let Ok(mut shared) = audit_state.lock() {
-            *shared = Some(a.snapshot());
+            *shared = Some(snap);
         }
     }
 }

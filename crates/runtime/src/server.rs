@@ -208,7 +208,7 @@ impl Server {
 
         let stage0 = StageModel::new(
             cfg.model.clone(),
-            // lint:allow(panic-freedom): partition_layers yields exactly num_stages ranges, num_stages >= 1
+            // lint:allow(panic-freedom): the partition loop above pushes one range per stage and num_stages >= 1 is asserted at entry
             ranges[0].clone(),
             kv_slots,
             cfg.seed,
@@ -260,7 +260,13 @@ impl Server {
     /// The auditor's state as of the last schedule/complete transition
     /// (`None` before the first batch or when auditing is off).
     pub fn audit_snapshot(&self) -> Option<AuditSnapshot> {
-        self.audit_state.lock().ok().and_then(|g| g.clone())
+        // A driver panic poisons this mutex, and that is exactly when the
+        // snapshot matters most (it feeds StallError post-mortems): recover
+        // the data instead of returning None on poison.
+        self.audit_state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Submit `reqs` and block until each finishes (or is rejected),
@@ -361,6 +367,30 @@ mod tests {
     fn reference_generation(prompt: &[u32], max_new: usize) -> Vec<u32> {
         let mut lm = CausalLM::new(ModelConfig::tiny(), 1, 256, 4, 2024);
         lm.generate(99, prompt, max_new, 1024, &SamplingParams::greedy()).unwrap()
+    }
+
+    /// Regression: `audit_snapshot` must recover the last snapshot even
+    /// when the mutex was poisoned by a panicking holder — a crashed
+    /// driver is exactly the case where the post-mortem snapshot matters.
+    #[test]
+    fn audit_snapshot_survives_a_poisoned_mutex() {
+        let server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
+        server.generate_all(vec![req(1, vec![5, 9, 33], 4)]).expect("runtime stalled");
+        assert!(server.audit_snapshot().is_some(), "audit on => snapshot recorded");
+
+        // Poison the mutex the way a crashing driver would: panic while
+        // holding the guard.
+        let state = Arc::clone(&server.audit_state);
+        let _ = std::thread::spawn(move || {
+            let _guard = state.lock().expect("not yet poisoned");
+            panic!("poison the audit mutex");
+        })
+        .join();
+        assert!(server.audit_state.lock().is_err(), "mutex must now be poisoned");
+
+        // The snapshot written before the crash is still readable.
+        assert!(server.audit_snapshot().is_some());
+        server.shutdown();
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub fn parse_azure_csv(content: &str) -> Result<Trace, ParseError> {
     if rows.is_empty() {
         return Err(err(0, "no data rows"));
     }
-    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrivals"));
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
     let t0 = rows[0].0;
     let requests = rows
         .into_iter()
