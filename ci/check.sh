@@ -22,6 +22,14 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Stage 1.5: fault matrix. The chaos suite injects seeded faults (worker
+# kills, dropped/delayed activations, KV reservation failures) into the
+# threaded runtime and requires every recovered run to be bit-identical
+# to the fault-free run — or a structured per-request rejection, never a
+# panic or an indefinite stall. Runs in release: recovery respawns full
+# pipeline stages, which is slow unoptimized.
+cargo test -q --release -p gllm-runtime --test chaos
+
 # Stage 2: perf self-benchmark. Times every figure family's sweep serial
 # vs parallel vs the unoptimized baseline, writes BENCH_sweep.json at the
 # repo root, and exits nonzero if the parallel sweep's output ever

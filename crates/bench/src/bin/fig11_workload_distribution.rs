@@ -25,8 +25,15 @@ struct Fig11Output {
 }
 
 fn hist(values: &[usize], bins: usize, max: usize) -> Vec<(f64, usize)> {
-    let (edges, counts) = histogram(values, bins, 0, max);
-    edges.into_iter().zip(counts).collect()
+    // Callers pass literal bins/max, so a config error here is a bug in
+    // this binary — report it and produce an empty histogram.
+    match histogram(values, bins, 0, max) {
+        Ok((edges, counts)) => edges.into_iter().zip(counts).collect(),
+        Err(e) => {
+            eprintln!("fig11: bad histogram request: {e}");
+            Vec::new()
+        }
+    }
 }
 
 fn main() {

@@ -86,7 +86,7 @@ fn run_server(
     } else {
         Arc::new(TokenThrottle::default())
     };
-    let server = Server::start(RuntimeConfig::tiny(stages), policy);
+    let server = Server::start(RuntimeConfig::tiny(stages), policy).expect("valid config");
     let reqs = prompts
         .iter()
         .enumerate()

@@ -338,6 +338,41 @@ impl RequestPool {
         outcome
     }
 
+    /// Roll back a committed plan whose micro-batch will never complete
+    /// (the pipeline stage executing it died). Every sequence the plan
+    /// moved in-flight returns to its pre-commit state: prefill chunks
+    /// give back their KV token accounting, decode slots their appended
+    /// slot. Sequences the pool no longer knows are skipped — a recovery
+    /// sweep must not panic on a request that was aborted in between.
+    pub fn uncommit(&mut self, plan: &BatchPlan) {
+        for c in &plan.prefill {
+            if let Some(s) = self.seqs.get_mut(&c.seq) {
+                s.uncommit_prefill(c.tokens.get());
+            }
+        }
+        for d in &plan.decode {
+            if let Some(s) = self.seqs.get_mut(&d.seq) {
+                s.uncommit_decode();
+            }
+        }
+    }
+
+    /// Reset every live sequence that holds committed KV context for
+    /// recomputation — the recovery path after a pipeline failure, where
+    /// all resident KV dies with the stages that computed it. In-flight
+    /// sequences are skipped (the caller must [`RequestPool::uncommit`]
+    /// lost plans first). Returns the reset ids in ascending order.
+    pub fn preempt_all_live(&mut self) -> Vec<u64> {
+        let mut reset = Vec::new();
+        for (&id, s) in self.seqs.iter_mut() {
+            if !s.is_finished() && !s.is_in_flight() && s.context_len() > 0 {
+                s.reset_for_recompute();
+                reset.push(id);
+            }
+        }
+        reset
+    }
+
     /// Pick and reset a preemption victim: the **latest-arrival** sequence
     /// that is decoding and not in flight (vLLM preempts the lowest
     /// priority first). Returns its id and the KV tokens it held, or `None`
@@ -564,6 +599,74 @@ mod tests {
         let p1 = BatchPlan { prefill: vec![chunk(1, 60, 0, false)], decode: vec![] };
         pool.commit(&p1);
         assert!(view(&pool, 1000).waiting.is_empty());
+    }
+
+    #[test]
+    fn uncommit_restores_the_pre_commit_state() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 100, 5);
+        pool.add(2, 10, 5);
+        // Seq 2 reaches decode; seq 1 is mid-prefill.
+        let warm = BatchPlan { prefill: vec![chunk(2, 10, 0, true)], decode: vec![] };
+        pool.commit(&warm);
+        pool.complete(&warm);
+        let lost = BatchPlan {
+            prefill: vec![chunk(1, 40, 0, false)],
+            decode: vec![slot(2, 10)],
+        };
+        pool.commit(&lost);
+        assert!(pool.seq(1).unwrap().is_in_flight());
+        assert!(pool.seq(2).unwrap().is_in_flight());
+        pool.uncommit(&lost);
+        let s1 = pool.seq(1).unwrap();
+        assert!(!s1.is_in_flight());
+        assert_eq!(s1.prefilled, 0);
+        assert_eq!(s1.remaining_prefill(), 100);
+        let s2 = pool.seq(2).unwrap();
+        assert!(!s2.is_in_flight());
+        assert_eq!(s2.context_len(), 10, "decode KV rolled back");
+        assert_eq!(s2.generated, 1, "emitted tokens are untouched");
+        // The identical plan recommits cleanly (not stale).
+        pool.commit(&lost);
+        pool.complete(&lost);
+    }
+
+    #[test]
+    fn uncommit_skips_unknown_sequences() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 10, 5);
+        let plan = BatchPlan { prefill: vec![chunk(1, 10, 0, true), chunk(9, 4, 0, true)], decode: vec![] };
+        // Only seq 1 exists; the rollback must not panic on seq 9.
+        pool.uncommit(&BatchPlan { prefill: vec![chunk(9, 4, 0, true)], decode: vec![] });
+        drop(plan);
+        assert_eq!(pool.seq(1).unwrap().prefilled, 0);
+    }
+
+    #[test]
+    fn preempt_all_live_resets_everything_with_context() {
+        let mut pool = RequestPool::new(1024);
+        pool.add(1, 10, 5); // will be decoding with 10 KV
+        pool.add(2, 80, 5); // will be mid-prefill with 30 KV
+        pool.add(3, 20, 5); // never scheduled: no context, left alone
+        let p1 = BatchPlan { prefill: vec![chunk(1, 10, 0, true)], decode: vec![] };
+        pool.commit(&p1);
+        pool.complete(&p1);
+        let p2 = BatchPlan { prefill: vec![chunk(2, 30, 0, false)], decode: vec![] };
+        pool.commit(&p2);
+        pool.complete(&p2);
+        let reset = pool.preempt_all_live();
+        assert_eq!(reset, vec![1, 2]);
+        for id in [1, 2] {
+            let s = pool.seq(id).unwrap();
+            assert_eq!(s.phase, Phase::Waiting, "seq {id}");
+            assert_eq!(s.context_len(), 0, "seq {id}");
+            assert_eq!(s.preemptions, 1, "seq {id}");
+        }
+        // Seq 1 recomputes its generated token as prompt.
+        assert_eq!(pool.seq(1).unwrap().remaining_prefill(), 11);
+        let s3 = pool.seq(3).unwrap();
+        assert_eq!(s3.preemptions, 0, "contextless sequence untouched");
+        assert_eq!(s3.remaining_prefill(), 20);
     }
 
     #[test]

@@ -166,6 +166,26 @@ impl Sequence {
         true
     }
 
+    /// Roll back a committed-but-never-completed prefill chunk (the
+    /// micro-batch carrying it died with a pipeline stage). The KV slots
+    /// it reserved are un-counted and the chunk leaves the in-flight set,
+    /// as if it had never been scheduled.
+    pub(crate) fn uncommit_prefill(&mut self, tokens: usize) {
+        debug_assert!(self.is_in_flight(), "uncommit of a non-in-flight sequence");
+        debug_assert!(tokens <= self.prefilled, "uncommit exceeds committed prefill");
+        self.prefilled = self.prefilled.saturating_sub(tokens);
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// Roll back a committed-but-never-completed decode step (see
+    /// [`Sequence::uncommit_prefill`]).
+    pub(crate) fn uncommit_decode(&mut self) {
+        debug_assert!(self.is_in_flight(), "uncommit of a non-in-flight sequence");
+        debug_assert!(self.decode_kv >= 1, "uncommit with no committed decode KV");
+        self.decode_kv = self.decode_kv.saturating_sub(1);
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
     /// Preempt: all KV is lost; fold generated text into the prompt so the
     /// context is recomputed by prefill, after which decoding resumes.
     pub(crate) fn reset_for_recompute(&mut self) {

@@ -56,7 +56,8 @@ impl ApiServer {
     ) -> std::io::Result<ApiServer> {
         let tokenizer = Tokenizer::byte_level(cfg.model.vocab_size);
         let model_name = cfg.model.name.clone();
-        let runtime = Server::start(cfg, policy);
+        let runtime = Server::start(cfg, policy)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         let shared = Arc::new(Shared {
             submitter: runtime.submitter(),
             tokenizer,
@@ -73,7 +74,9 @@ impl ApiServer {
                 loop {
                     if let Some(ev) = runtime.next_event(Duration::from_millis(50)) {
                         let seq = match ev {
-                            StreamEvent::Token { seq, .. } | StreamEvent::Rejected { seq } => seq,
+                            StreamEvent::Token { seq, .. }
+                            | StreamEvent::Rejected { seq }
+                            | StreamEvent::Failed { seq } => seq,
                         };
                         let routes = shared.routes.lock().expect("routes lock");
                         if let Some(tx) = routes.get(&seq) {
@@ -228,6 +231,9 @@ fn handle_chat(stream: &mut TcpStream, req: &Request, shared: &Shared) {
                 }
             }
             Ok(StreamEvent::Rejected { .. }) => break Err("request exceeds KV capacity"),
+            Ok(StreamEvent::Failed { .. }) => {
+                break Err("request failed; the runtime exhausted its recovery budget")
+            }
             Err(_) => break Err("generation timed out"),
         }
     };
@@ -345,6 +351,16 @@ fn blocking_completion(
                 .expect("serialise error");
                 return respond(stream, 400, "application/json", &body);
             }
+            Ok(StreamEvent::Failed { .. }) => {
+                // Partial tokens (if any) are discarded with the buffer:
+                // a Failed event voids everything streamed before it.
+                let body = serde_json::to_vec(&ErrorResponse::new(
+                    "server_error",
+                    "request failed; the runtime exhausted its recovery budget",
+                ))
+                .expect("serialise error");
+                return respond(stream, 500, "application/json", &body);
+            }
             Err(_) => {
                 let body = serde_json::to_vec(&ErrorResponse::new("server_error", "generation timed out"))
                     .expect("serialise error");
@@ -405,7 +421,7 @@ fn stream_completion(
                     break;
                 }
             }
-            Ok(StreamEvent::Rejected { .. }) | Err(_) => {
+            Ok(StreamEvent::Rejected { .. }) | Ok(StreamEvent::Failed { .. }) | Err(_) => {
                 let err = ErrorResponse::new("server_error", "generation aborted");
                 write_sse_event(stream, &serde_json::to_string(&err).expect("serialise"))?;
                 break;

@@ -38,6 +38,7 @@ gLLM — global balanced pipeline parallelism with Token Throttling
 USAGE:
   gllm serve         [--port N] [--stages K] [--policy throttle|sarathi|tdpipe]
                      [--cpp] [--kv-blocks N] [--seed S]
+                     [--fault-plan kill:1@3,drop:0@2+...,kvfail:4x2]
   gllm simulate      [--model 14b|32b|100b] [--cluster l20|a100|a800] [--gpus N]
                      [--system gllm|vllm|sglang|tdpipe|orca|ft] [--dataset sharegpt|azure]
                      [--rate R | --rate R1,R2,...] [--jobs N] [--seed S]
@@ -92,10 +93,20 @@ fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
     let kv_blocks: usize = get(&flags, "kv-blocks", 4096)?;
     let seed: u64 = get(&flags, "seed", 2024)?;
     let policy = policy_of(flags.get("policy").map(String::as_str).unwrap_or("throttle"))?;
+    // Deterministic fault injection (chaos testing a live server): same
+    // grammar as the chaos suite, e.g. `kill:1@3,kvfail:4x2`.
+    let fault_plan = match flags.get("fault-plan") {
+        Some(spec) => spec.parse().map_err(|e| format!("{e}"))?,
+        None => gllm_runtime::FaultPlan::none(),
+    };
+    if !fault_plan.is_empty() {
+        println!("fault plan armed: {} fault(s)", fault_plan.faults.len());
+    }
     let cfg = RuntimeConfig {
         kv_blocks,
         seed,
         cpp: flags.contains_key("cpp"),
+        fault_plan,
         ..RuntimeConfig::tiny(stages)
     };
     let server = ApiServer::start(cfg, policy, &format!("127.0.0.1:{port}"))

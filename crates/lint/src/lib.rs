@@ -881,6 +881,18 @@ mod tests {
     }
 
     #[test]
+    fn fault_injection_module_is_in_panic_freedom_scope() {
+        // The fault-injection/recovery layer must stay panic-free and
+        // lock-disciplined: a panic inside the recovery path would turn an
+        // injected (survivable) fault into a real crash.
+        let checks = checks_for(Path::new("crates/runtime/src/fault.rs"));
+        assert!(checks.contains(&Check::PanicFreedom), "fault.rs must be panic-free");
+        assert!(checks.contains(&Check::LockDiscipline), "injector holds a shared mutex");
+        let driver = checks_for(Path::new("crates/runtime/src/driver.rs"));
+        assert!(driver.contains(&Check::PanicFreedom), "recovery path must be panic-free");
+    }
+
+    #[test]
     fn strings_and_comments_are_not_code() {
         let src = r#"
 fn f() {

@@ -68,6 +68,10 @@ pub enum Invariant {
     BudgetConformance,
     /// Prefill admission inverted FCFS order.
     FcfsAdmission,
+    /// The runtime's own bookkeeping went inconsistent (e.g. a committed
+    /// chunk without a KV table or pool entry) and the affected request
+    /// was rejected instead of panicking the driver.
+    RuntimeIntegrity,
 }
 
 /// One detected contract violation.
@@ -103,6 +107,17 @@ pub struct AuditSnapshot {
     pub total_blocks: Blocks,
     /// Violations recorded so far.
     pub violations: usize,
+    /// Injected faults observed so far (kills, drops, delays, KV-alloc
+    /// failures — see `gllm-runtime`'s fault module).
+    pub faults_injected: u64,
+    /// Completed pipeline recoveries (teardown + respawn + requeue).
+    pub recoveries: u64,
+    /// In-flight micro-batches rolled back and requeued across all
+    /// recoveries.
+    pub batches_requeued: u64,
+    /// Requests terminated with a structured failure event instead of an
+    /// output (KV-fault exhaustion, integrity rejection, fail-open).
+    pub requests_failed: u64,
 }
 
 /// Final audit result of a run.
@@ -148,6 +163,11 @@ pub struct InvariantAuditor {
     batches_checked: u64,
     last_t: f64,
 
+    faults_injected: u64,
+    recoveries: u64,
+    batches_requeued: u64,
+    requests_failed: u64,
+
     /// Arrival index per request id, in submission order. Ordered maps
     /// keep violation details deterministic across runs (sim-determinism).
     arrival_idx: BTreeMap<u64, usize>,
@@ -173,6 +193,10 @@ impl InvariantAuditor {
             in_flight: 0,
             batches_checked: 0,
             last_t: 0.0,
+            faults_injected: 0,
+            recoveries: 0,
+            batches_requeued: 0,
+            requests_failed: 0,
             arrival_idx: BTreeMap::new(),
             next_arrival: 0,
             started: BTreeSet::new(),
@@ -200,6 +224,43 @@ impl InvariantAuditor {
     /// the waiting queue with an empty context.
     pub fn on_evict(&mut self, seq: u64) {
         self.ctx.remove(&seq);
+    }
+
+    /// An injected fault fired somewhere in the pipeline (the runtime
+    /// drains the injector's firing log into this counter so every fault
+    /// is visible in the snapshot, even ones that needed no recovery).
+    pub fn on_fault(&mut self, t_s: f64) {
+        self.last_t = t_s;
+        self.faults_injected += 1;
+    }
+
+    /// The driver tore the pipeline down, rolled back `lost_batches`
+    /// in-flight micro-batches for requeueing, and respawned the stages.
+    /// The rolled-back batches leave the in-flight count: their
+    /// completions will never arrive.
+    pub fn on_recovery(&mut self, t_s: f64, lost_batches: usize) {
+        self.last_t = t_s;
+        self.recoveries += 1;
+        self.batches_requeued += lost_batches as u64;
+        self.in_flight = self.in_flight.saturating_sub(lost_batches);
+    }
+
+    /// A live request was terminated with a structured failure event
+    /// (bounded retries exhausted, or fail-open after too many
+    /// recoveries). Like an abort, it leaves the FCFS universe and its
+    /// shadow KV is forgotten.
+    pub fn on_request_failed(&mut self, t_s: f64, seq: u64) {
+        self.last_t = t_s;
+        self.requests_failed += 1;
+        self.gone.insert(seq);
+        self.ctx.remove(&seq);
+    }
+
+    /// The runtime detected an internal bookkeeping inconsistency and
+    /// rejected the request instead of panicking. Recorded as a
+    /// [`Invariant::RuntimeIntegrity`] violation.
+    pub fn on_integrity_failure(&mut self, t_s: f64, batch: Option<u64>, detail: String) {
+        self.violate(t_s, batch, Invariant::RuntimeIntegrity, detail);
     }
 
     /// Audit one scheduling decision: `proposed` is the policy's raw plan,
@@ -491,6 +552,10 @@ impl InvariantAuditor {
             shadow_used_blocks: self.ctx.values().map(|&c| c.to_blocks(bs)).sum(),
             total_blocks: self.total_blocks,
             violations: self.violations.len(),
+            faults_injected: self.faults_injected,
+            recoveries: self.recoveries,
+            batches_requeued: self.batches_requeued,
+            requests_failed: self.requests_failed,
         }
     }
 
@@ -684,6 +749,59 @@ mod tests {
         // 20 tokens = 2 blocks, but the "manager" claims only 1 is used.
         a.on_schedule(0.0, 0, &plan, &plan, None, obs(8, 0), obs(7, 1));
         assert!(a.violations().iter().any(|v| v.invariant == Invariant::KvAccounting));
+    }
+
+    #[test]
+    fn recovery_requeues_in_flight_batches_and_counts() {
+        let mut a = auditor(64, 16, 4);
+        a.on_arrival(1);
+        a.on_arrival(2);
+        let p1 = BatchPlan { prefill: vec![chunk(1, 8, 0, true)], decode: vec![] };
+        let p2 = BatchPlan { prefill: vec![chunk(2, 8, 0, true)], decode: vec![] };
+        a.on_schedule(0.0, 0, &p1, &p1, None, obs(64, 0), obs(63, 1));
+        a.on_schedule(0.1, 1, &p2, &p2, None, obs(63, 1), obs(62, 2));
+        // The pipeline dies with both batches in flight: the driver evicts
+        // all KV, rolls both back and respawns.
+        a.on_fault(0.2);
+        a.on_evict(1);
+        a.on_evict(2);
+        a.on_recovery(0.2, 2);
+        let s = a.snapshot();
+        assert_eq!(s.in_flight, 0, "requeued batches leave the in-flight count");
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.batches_requeued, 2);
+        assert_eq!(s.live_kv_seqs, 0);
+        // The recomputed schedule passes the KV cross-check from zero.
+        a.on_schedule(0.3, 2, &p1, &p1, None, obs(64, 0), obs(63, 1));
+        a.on_complete(0.4, 2, &[1], obs(64, 0));
+        assert!(a.is_clean(), "{:?}", a.violations());
+        let report = a.into_report(false);
+        assert_eq!(report.final_snapshot.recoveries, 1);
+        assert_eq!(report.final_snapshot.batches_requeued, 2);
+    }
+
+    #[test]
+    fn failed_request_leaves_fcfs_and_counts() {
+        let mut a = auditor(64, 16, 4);
+        a.on_arrival(1);
+        a.on_arrival(2);
+        a.on_request_failed(0.1, 1);
+        assert_eq!(a.snapshot().requests_failed, 1);
+        // Seq 2 may now start even though the failed seq 1 never did.
+        let p2 = BatchPlan { prefill: vec![chunk(2, 8, 0, true)], decode: vec![] };
+        a.on_schedule(0.2, 0, &p2, &p2, None, obs(64, 0), obs(63, 1));
+        assert!(a.is_clean(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn integrity_failure_is_a_violation() {
+        let mut a = auditor(64, 16, 4);
+        a.on_integrity_failure(0.5, Some(3), "committed chunk without KV table".to_string());
+        assert!(!a.is_clean());
+        let v = &a.violations()[0];
+        assert_eq!(v.invariant, Invariant::RuntimeIntegrity);
+        assert_eq!(v.batch, Some(3));
     }
 
     #[test]

@@ -153,6 +153,8 @@ fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
+    // Clamp so an out-of-range p (e.g. 150) cannot index past the end.
+    let p = p.clamp(0.0, 100.0);
     let mut s = xs.to_vec();
     s.sort_by(|a, b| a.total_cmp(b));
     let rank = (p / 100.0) * (s.len() - 1) as f64;

@@ -60,6 +60,19 @@ pub enum TraceEventKind {
         /// Preempted sequence id.
         seq: u64,
     },
+    /// An injected (or detected) fault fired in the pipeline.
+    Fault {
+        /// Human-readable description, e.g. `kill worker stage 1 at batch 3`.
+        desc: String,
+    },
+    /// The driver recovered the pipeline: stages respawned, lost work
+    /// rolled back for recomputation.
+    Recovery {
+        /// In-flight micro-batches rolled back and requeued.
+        batches_requeued: usize,
+        /// Sequences reset for recompute (their KV died with the stages).
+        requests_reset: usize,
+    },
 }
 
 /// One timestamped event.
@@ -123,6 +136,18 @@ impl PipelineTrace {
     /// Record a recompute preemption.
     pub fn preempt(&mut self, t_s: f64, seq: u64) {
         self.push(t_s, TraceEventKind::Preempt { seq });
+    }
+
+    /// Record a fault firing.
+    pub fn fault(&mut self, t_s: f64, desc: &str) {
+        if self.enabled {
+            self.push(t_s, TraceEventKind::Fault { desc: desc.to_string() });
+        }
+    }
+
+    /// Record a completed pipeline recovery.
+    pub fn recovery(&mut self, t_s: f64, batches_requeued: usize, requests_reset: usize) {
+        self.push(t_s, TraceEventKind::Recovery { batches_requeued, requests_reset });
     }
 
     /// Total stage-busy seconds summed over all `Stage` spans — comparable
@@ -227,6 +252,23 @@ impl PipelineTrace {
                         None,
                         vec![("seq".into(), Value::UInt(*seq))],
                     ),
+                    TraceEventKind::Fault { desc } => (
+                        format!("fault: {desc}"),
+                        "i",
+                        SCHED_TID,
+                        None,
+                        vec![("desc".into(), Value::Str(desc.clone()))],
+                    ),
+                    TraceEventKind::Recovery { batches_requeued, requests_reset } => (
+                        "recovery".to_string(),
+                        "i",
+                        SCHED_TID,
+                        None,
+                        vec![
+                            ("batches_requeued".into(), Value::UInt(*batches_requeued as u64)),
+                            ("requests_reset".into(), Value::UInt(*requests_reset as u64)),
+                        ],
+                    ),
                 };
             let mut fields = vec![
                 ("name".into(), Value::Str(name)),
@@ -317,5 +359,31 @@ mod tests {
         let text = sample().to_chrome_trace_string();
         let parsed: Value = serde_json::from_str(&text).expect("round-trips");
         assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), events.len());
+    }
+
+    #[test]
+    fn fault_and_recovery_events_export_as_scheduler_instants() {
+        let mut t = PipelineTrace::new(true);
+        t.fault(0.010, "kill worker stage 1 at batch 3");
+        t.recovery(0.020, 2, 3);
+        assert_eq!(t.events().len(), 2);
+        let doc = t.to_chrome_trace();
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        let fault = events
+            .iter()
+            .find(|e| e["name"].as_str().is_some_and(|n| n.starts_with("fault:")))
+            .expect("fault instant");
+        assert_eq!(fault["ph"], "i");
+        assert_eq!(fault["tid"], 99u64);
+        assert_eq!(fault["args"]["desc"], "kill worker stage 1 at batch 3");
+        let rec = events.iter().find(|e| e["name"] == "recovery").expect("recovery instant");
+        assert_eq!(rec["args"]["batches_requeued"], 2u64);
+        assert_eq!(rec["args"]["requests_reset"], 3u64);
+
+        // A disabled trace drops both for free.
+        let mut off = PipelineTrace::new(false);
+        off.fault(0.0, "x");
+        off.recovery(0.0, 1, 1);
+        assert!(off.events().is_empty());
     }
 }

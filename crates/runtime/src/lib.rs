@@ -22,11 +22,20 @@
 //! scheduler driving it is the *same* `gllm-core` policy object the
 //! simulator benchmarks — which is how the repository ties the performance
 //! claims to functional correctness.
+//!
+//! The runtime is additionally *fault tolerant*: a seeded [`FaultPlan`]
+//! can kill workers, drop or delay activations and fail KV reservations,
+//! and the driver detects the damage, rolls in-flight batches back,
+//! respawns the dead stages from the same weight seed and recomputes —
+//! producing output bit-identical to the fault-free run (see
+//! [`fault`] and the chaos test suite).
 
 pub mod driver;
+pub mod fault;
 pub mod messages;
 pub mod server;
 pub mod worker;
 
+pub use fault::{FaultInjector, FaultKind, FaultParseError, FaultPlan};
 pub use messages::{GenRequest, StreamEvent};
-pub use server::{RuntimeConfig, Server, Submitter};
+pub use server::{ConfigError, RuntimeConfig, Server, StallError, SubmitError, Submitter};

@@ -34,6 +34,15 @@ pub enum StreamEvent {
         /// Sequence id.
         seq: u64,
     },
+    /// The request was admitted but later terminated by the failure path:
+    /// its KV reservations kept failing past the retry budget, the driver
+    /// hit an internal bookkeeping inconsistency, or recovery gave up
+    /// after too many pipeline respawns. Tokens already streamed for the
+    /// request must be discarded.
+    Failed {
+        /// Sequence id.
+        seq: u64,
+    },
 }
 
 /// Metadata the driver broadcasts to every worker before a micro-batch

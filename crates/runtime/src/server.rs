@@ -12,9 +12,10 @@ use gllm_metrics::{AuditSnapshot, MetricsRecorder};
 use gllm_model::ModelConfig;
 use gllm_transformer::StageModel;
 
-use crate::driver::{run_driver, DriverOutput};
+use crate::driver::{run_driver, DriverOutput, DriverParams};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::messages::{DriverMsg, GenRequest, StreamEvent};
-use crate::worker::{run_worker, StageOutput};
+use crate::worker::StageSpawner;
 
 /// Deployment parameters of a threaded serving instance.
 #[derive(Debug, Clone)]
@@ -44,6 +45,17 @@ pub struct RuntimeConfig {
     /// How long [`Server::generate_all`] waits without any stream event
     /// before declaring the runtime stalled.
     pub stall_timeout: Duration,
+    /// Faults to inject into this run (empty = none). Used by the chaos
+    /// suite and the `--fault-plan` CLI flag.
+    pub fault_plan: FaultPlan,
+    /// Full pipeline recoveries the driver attempts before failing the
+    /// open requests with structured [`StreamEvent::Failed`] events.
+    pub max_recoveries: usize,
+    /// KV-reservation retries per request before a structured failure.
+    pub max_kv_retries: usize,
+    /// Heartbeat window: batches in flight with no completion for this
+    /// long is treated as a wedged pipeline and triggers recovery.
+    pub batch_timeout: Duration,
 }
 
 impl RuntimeConfig {
@@ -60,9 +72,50 @@ impl RuntimeConfig {
             audit: true,
             record_trace: false,
             stall_timeout: Duration::from_secs(60),
+            fault_plan: FaultPlan::none(),
+            max_recoveries: 8,
+            max_kv_retries: 4,
+            batch_timeout: Duration::from_secs(5),
         }
     }
 }
+
+/// A [`RuntimeConfig`] that cannot be served. Returned by
+/// [`Server::start`] instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_stages` was zero.
+    NoStages,
+    /// More stages than the model has layers to distribute.
+    MoreStagesThanLayers {
+        /// Requested stage count.
+        stages: usize,
+        /// Layers available.
+        layers: usize,
+    },
+    /// The KV cache would hold zero tokens (`kv_blocks` or `block_size`
+    /// was zero).
+    EmptyKvCache,
+    /// `max_seqs_per_batch` was zero: nothing could ever be scheduled.
+    ZeroBatchCap,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoStages => write!(f, "num_stages must be at least 1"),
+            ConfigError::MoreStagesThanLayers { stages, layers } => {
+                write!(f, "{stages} pipeline stages over a {layers}-layer model")
+            }
+            ConfigError::EmptyKvCache => {
+                write!(f, "KV cache holds zero tokens (kv_blocks and block_size must be positive)")
+            }
+            ConfigError::ZeroBatchCap => write!(f, "max_seqs_per_batch must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The runtime stopped producing stream events for a full timeout window.
 ///
@@ -80,7 +133,9 @@ pub struct StallError {
     /// out while alive.
     pub disconnected: bool,
     /// The auditor's state as of the last schedule/complete transition.
-    pub snapshot: Option<AuditSnapshot>,
+    /// Boxed: the snapshot (with its fault/recovery counters) dominates
+    /// the error's size, and `Result<_, StallError>` travels by value.
+    pub snapshot: Option<Box<AuditSnapshot>>,
 }
 
 impl std::fmt::Display for StallError {
@@ -138,19 +193,40 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// A running serving instance: frontend handle to the driver + workers.
+///
+/// The driver thread owns the downstream worker generation (it must, to
+/// tear them down and respawn them on failure), so this handle only joins
+/// the driver at shutdown.
 pub struct Server {
     req_tx: Sender<DriverMsg>,
     stream_rx: Receiver<StreamEvent>,
     driver: Option<JoinHandle<DriverOutput>>,
-    workers: Vec<JoinHandle<()>>,
     audit_state: Arc<Mutex<Option<AuditSnapshot>>>,
     stall_timeout: Duration,
 }
 
 impl Server {
-    /// Spawn the driver and one worker thread per remaining stage.
-    pub fn start(cfg: RuntimeConfig, policy: Arc<dyn SchedulePolicy>) -> Self {
-        assert!(cfg.num_stages >= 1 && cfg.num_stages <= cfg.model.num_layers);
+    /// Validate the config, spawn the driver and one worker thread per
+    /// remaining stage.
+    pub fn start(
+        cfg: RuntimeConfig,
+        policy: Arc<dyn SchedulePolicy>,
+    ) -> Result<Self, ConfigError> {
+        if cfg.num_stages == 0 {
+            return Err(ConfigError::NoStages);
+        }
+        if cfg.num_stages > cfg.model.num_layers {
+            return Err(ConfigError::MoreStagesThanLayers {
+                stages: cfg.num_stages,
+                layers: cfg.model.num_layers,
+            });
+        }
+        if cfg.kv_blocks == 0 || cfg.block_size == 0 {
+            return Err(ConfigError::EmptyKvCache);
+        }
+        if cfg.max_seqs_per_batch == 0 {
+            return Err(ConfigError::ZeroBatchCap);
+        }
         let kv_slots = cfg.kv_blocks * cfg.block_size;
 
         // Even layer partition, remainder to early stages.
@@ -167,77 +243,54 @@ impl Server {
 
         let (req_tx, req_rx) = unbounded();
         let (stream_tx, stream_rx) = unbounded();
-        let (result_tx, result_rx) = unbounded();
-
-        // Wire workers 1..S: a metadata channel each (driver broadcast),
-        // and an activation chain driver → 1 → 2 → … → S−1 → results.
-        let mut meta_txs = Vec::with_capacity(cfg.num_stages.saturating_sub(1));
-        let mut workers = Vec::with_capacity(cfg.num_stages.saturating_sub(1));
-        let mut first_act_tx = None;
-        let mut next_act_rx: Option<Receiver<_>> = None;
-        #[allow(clippy::needless_range_loop)] // stage index is the wiring key
-        for s in 1..cfg.num_stages {
-            let (meta_tx, meta_rx) = unbounded();
-            meta_txs.push(meta_tx);
-            let act_rx = if s == 1 {
-                let (tx, rx) = unbounded();
-                first_act_tx = Some(tx);
-                rx
-            } else {
-                // lint:allow(panic-freedom): stage s > 1 implies iteration s-1 stored the receiver
-                next_act_rx.take().expect("previous stage wired")
-            };
-            let is_last = s + 1 == cfg.num_stages;
-            let output = if is_last {
-                StageOutput::Result(result_tx.clone())
-            } else {
-                let (tx, rx) = unbounded();
-                next_act_rx = Some(rx);
-                StageOutput::Next(tx)
-            };
-            let stage = StageModel::new(
-                cfg.model.clone(),
-                ranges[s].clone(),
-                kv_slots,
-                cfg.seed,
-                false,
-                is_last,
-            );
-            workers.push(std::thread::spawn(move || run_worker(stage, meta_rx, act_rx, output)));
-        }
 
         let stage0 = StageModel::new(
             cfg.model.clone(),
-            // lint:allow(panic-freedom): the partition loop above pushes one range per stage and num_stages >= 1 is asserted at entry
-            ranges[0].clone(),
+            ranges.first().cloned().unwrap_or(0..0),
             kv_slots,
             cfg.seed,
             true,
             cfg.num_stages == 1,
         );
+        let injector = FaultInjector::new(&cfg.fault_plan);
+        let spawner = StageSpawner::new(
+            cfg.model.clone(),
+            ranges,
+            kv_slots,
+            cfg.seed,
+            injector.clone(),
+        );
+        let links = spawner.spawn_downstream();
         let kvm = KvCacheManager::new(Blocks(cfg.kv_blocks), Tokens(cfg.block_size));
-        let depth = cfg.num_stages;
-        let max_seqs = cfg.max_seqs_per_batch;
-        let cpp = cfg.cpp;
-        let audit = cfg.audit;
-        let record_trace = cfg.record_trace;
         let audit_state = Arc::new(Mutex::new(None));
-        let audit_state_driver = Arc::clone(&audit_state);
-        let driver = std::thread::spawn(move || {
-            run_driver(
-                stage0, policy, kvm, req_rx, meta_txs, first_act_tx, result_rx, stream_tx,
-                depth, max_seqs, cpp, audit, record_trace, audit_state_driver,
-            )
-        });
+        let params = DriverParams {
+            stage0,
+            policy,
+            kvm,
+            req_rx,
+            links,
+            spawner,
+            stream_tx,
+            depth: cfg.num_stages,
+            max_seqs_per_batch: cfg.max_seqs_per_batch,
+            cpp: cfg.cpp,
+            audit: cfg.audit,
+            record_trace: cfg.record_trace,
+            audit_state: Arc::clone(&audit_state),
+            injector,
+            max_recoveries: cfg.max_recoveries,
+            max_kv_retries: cfg.max_kv_retries,
+            batch_timeout: cfg.batch_timeout,
+        };
+        let driver = std::thread::spawn(move || run_driver(params));
 
-        Self {
+        Ok(Self {
             req_tx,
             stream_rx,
             driver: Some(driver),
-            workers,
             audit_state,
             stall_timeout: cfg.stall_timeout,
-        }
+        })
     }
 
     /// Submit a generation request. Fails when the driver has shut down
@@ -269,9 +322,9 @@ impl Server {
             .clone()
     }
 
-    /// Submit `reqs` and block until each finishes (or is rejected),
-    /// returning the generated tokens per request id. Rejected requests
-    /// map to an empty vector.
+    /// Submit `reqs` and block until each finishes (or is rejected, or
+    /// fails), returning the generated tokens per request id. Rejected and
+    /// failed requests map to an empty vector.
     ///
     /// Errors with [`StallError`] — carrying the auditor's last snapshot —
     /// if no stream event arrives within the configured stall timeout.
@@ -288,7 +341,7 @@ impl Server {
                     waited: Duration::ZERO,
                     pending: open,
                     disconnected: true,
-                    snapshot: self.audit_snapshot(),
+                    snapshot: self.audit_snapshot().map(Box::new),
                 });
             }
         }
@@ -311,12 +364,20 @@ impl Server {
                         open -= 1;
                     }
                 }
+                Some(StreamEvent::Failed { seq }) => {
+                    // Structured failure: any tokens streamed before the
+                    // failure are discarded, as the event contract demands.
+                    if let Some(toks) = out.get_mut(&seq) {
+                        toks.clear();
+                        open -= 1;
+                    }
+                }
                 None => {
                     return Err(StallError {
                         waited: self.stall_timeout,
                         pending: open,
                         disconnected: false,
-                        snapshot: self.audit_snapshot(),
+                        snapshot: self.audit_snapshot().map(Box::new),
                     })
                 }
             }
@@ -329,16 +390,12 @@ impl Server {
     /// *not* assert audit cleanliness — callers inspect the report.
     pub fn shutdown_full(mut self) -> DriverOutput {
         let _ = self.req_tx.send(DriverMsg::Shutdown);
-        let out = match self.driver.take().map(JoinHandle::join) {
+        match self.driver.take().map(JoinHandle::join) {
             Some(Ok(out)) => out,
             // A dead driver yields an empty output instead of re-raising
             // its panic on the caller's thread.
             Some(Err(_)) | None => DriverOutput::empty(),
-        };
-        for w in self.workers.drain(..) {
-            let _ = w.join();
         }
-        out
     }
 
     /// Drain in-flight work, stop every thread and return the driver's
@@ -364,9 +421,40 @@ mod tests {
         GenRequest { id, prompt, max_new, params: SamplingParams::greedy() }
     }
 
+    fn start(cfg: RuntimeConfig, policy: Arc<dyn SchedulePolicy>) -> Server {
+        Server::start(cfg, policy).expect("valid config")
+    }
+
     fn reference_generation(prompt: &[u32], max_new: usize) -> Vec<u32> {
         let mut lm = CausalLM::new(ModelConfig::tiny(), 1, 256, 4, 2024);
         lm.generate(99, prompt, max_new, 1024, &SamplingParams::greedy()).unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_are_reported_not_aborted() {
+        let start_err = |cfg: RuntimeConfig| -> ConfigError {
+            match Server::start(cfg, Arc::new(TokenThrottle::default())) {
+                Err(e) => e,
+                Ok(_) => panic!("invalid config accepted"),
+            }
+        };
+        assert_eq!(start_err(RuntimeConfig::tiny(0)), ConfigError::NoStages);
+        let layers = ModelConfig::tiny().num_layers;
+        let err = start_err(RuntimeConfig::tiny(layers + 1));
+        assert_eq!(err, ConfigError::MoreStagesThanLayers { stages: layers + 1, layers });
+        assert!(err.to_string().contains("pipeline stages"));
+        assert_eq!(
+            start_err(RuntimeConfig { kv_blocks: 0, ..RuntimeConfig::tiny(1) }),
+            ConfigError::EmptyKvCache
+        );
+        assert_eq!(
+            start_err(RuntimeConfig { block_size: 0, ..RuntimeConfig::tiny(1) }),
+            ConfigError::EmptyKvCache
+        );
+        assert_eq!(
+            start_err(RuntimeConfig { max_seqs_per_batch: 0, ..RuntimeConfig::tiny(1) }),
+            ConfigError::ZeroBatchCap
+        );
     }
 
     /// Regression: `audit_snapshot` must recover the last snapshot even
@@ -374,7 +462,7 @@ mod tests {
     /// driver is exactly the case where the post-mortem snapshot matters.
     #[test]
     fn audit_snapshot_survives_a_poisoned_mutex() {
-        let server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
+        let server = start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
         server.generate_all(vec![req(1, vec![5, 9, 33], 4)]).expect("runtime stalled");
         assert!(server.audit_snapshot().is_some(), "audit on => snapshot recorded");
 
@@ -395,7 +483,7 @@ mod tests {
 
     #[test]
     fn single_stage_runtime_matches_reference_model() {
-        let server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
+        let server = start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
         let out = server.generate_all(vec![req(1, vec![5, 9, 33, 120, 7], 10)]).expect("runtime stalled");
         let rec = server.shutdown();
         assert_eq!(out[&1], reference_generation(&[5, 9, 33, 120, 7], 10));
@@ -404,7 +492,7 @@ mod tests {
 
     #[test]
     fn pipelined_runtime_matches_reference_model() {
-        let server = Server::start(RuntimeConfig::tiny(4), Arc::new(TokenThrottle::default()));
+        let server = start(RuntimeConfig::tiny(4), Arc::new(TokenThrottle::default()));
         let out = server.generate_all(vec![req(1, vec![5, 9, 33, 120, 7], 10)]).expect("runtime stalled");
         server.shutdown();
         assert_eq!(out[&1], reference_generation(&[5, 9, 33, 120, 7], 10));
@@ -420,10 +508,10 @@ mod tests {
         let reqs = |_: &str| -> Vec<GenRequest> {
             prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 8)).collect()
         };
-        let a = Server::start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
+        let a = start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
         let out_throttle = a.generate_all(reqs("gllm")).expect("runtime stalled");
         a.shutdown();
-        let b = Server::start(RuntimeConfig::tiny(2), Arc::new(SarathiServe::default()));
+        let b = start(RuntimeConfig::tiny(2), Arc::new(SarathiServe::default()));
         let out_sarathi = b.generate_all(reqs("sarathi")).expect("runtime stalled");
         b.shutdown();
         assert_eq!(out_throttle, out_sarathi);
@@ -434,7 +522,7 @@ mod tests {
 
     #[test]
     fn concurrent_requests_all_complete_with_correct_lengths() {
-        let server = Server::start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
+        let server = start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
         let reqs: Vec<GenRequest> = (0..10)
             .map(|i| req(i, vec![(i % 250) as u32 + 1; 3 + (i as usize % 5)], 4 + (i as usize % 7)))
             .collect();
@@ -462,11 +550,11 @@ mod tests {
             prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 6)).collect();
         // Small chunks force multi-chunk prefills.
         let policy = || Arc::new(SarathiServe::new(Tokens(16)));
-        let classic = Server::start(RuntimeConfig::tiny(3), policy());
+        let classic = start(RuntimeConfig::tiny(3), policy());
         let out_classic = classic.generate_all(reqs.clone()).expect("runtime stalled");
         classic.shutdown();
         let cpp_cfg = RuntimeConfig { cpp: true, ..RuntimeConfig::tiny(3) };
-        let with_cpp = Server::start(cpp_cfg, policy());
+        let with_cpp = start(cpp_cfg, policy());
         let out_cpp = with_cpp.generate_all(reqs).expect("runtime stalled");
         with_cpp.shutdown();
         assert_eq!(out_classic, out_cpp, "CPP changed generated tokens");
@@ -477,7 +565,7 @@ mod tests {
 
     #[test]
     fn oversized_request_is_rejected() {
-        let server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
+        let server = start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
         // Capacity is 256 blocks × 4 = 1024 tokens.
         let out = server.generate_all(vec![req(1, vec![1; 2000], 10), req(2, vec![1, 2, 3], 3)]).expect("runtime stalled");
         server.shutdown();
@@ -495,7 +583,7 @@ mod tests {
         };
         let prompts: Vec<Vec<u32>> =
             (0..4).map(|i| (0..10).map(|j| ((i * 31 + j * 7) % 256) as u32).collect()).collect();
-        let server = Server::start(cfg, Arc::new(SarathiServe::default()));
+        let server = start(cfg, Arc::new(SarathiServe::default()));
         let out = server
             .generate_all(
                 prompts.iter().enumerate().map(|(i, p)| req(i as u64, p.clone(), 8)).collect(),
@@ -514,7 +602,7 @@ mod tests {
         // load, then shutdown_full must surface a drained, violation-free
         // audit with batches actually checked.
         let cfg = RuntimeConfig { kv_blocks: 16, ..RuntimeConfig::tiny(2) };
-        let server = Server::start(cfg, Arc::new(TokenThrottle::default()));
+        let server = start(cfg, Arc::new(TokenThrottle::default()));
         let reqs: Vec<GenRequest> =
             (0..6).map(|i| req(i, vec![(i % 200) as u32 + 1; 6 + i as usize], 5)).collect();
         server.generate_all(reqs).expect("runtime stalled");
@@ -524,6 +612,9 @@ mod tests {
         assert!(audit.batches_checked > 0);
         assert_eq!(audit.final_snapshot.in_flight, 0, "pipeline drained");
         assert_eq!(audit.final_snapshot.live_kv_seqs, 0, "KV drained");
+        assert_eq!(audit.final_snapshot.faults_injected, 0, "no fault plan armed");
+        assert_eq!(audit.final_snapshot.recoveries, 0);
+        assert_eq!(audit.final_snapshot.requests_failed, 0);
     }
 
     /// A policy that never schedules anything: the pipeline wedges with
@@ -546,7 +637,7 @@ mod tests {
             stall_timeout: Duration::from_millis(200),
             ..RuntimeConfig::tiny(1)
         };
-        let server = Server::start(cfg, Arc::new(NeverSchedule));
+        let server = start(cfg, Arc::new(NeverSchedule));
         let err = server
             .generate_all(vec![req(1, vec![1, 2, 3], 4)])
             .expect_err("a never-scheduling policy must stall");
@@ -565,7 +656,7 @@ mod tests {
     fn submit_after_shutdown_fails_gracefully() {
         // Regression: a detached Submitter outliving the server must get a
         // SubmitError, not panic on a closed channel.
-        let server = Server::start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
+        let server = start(RuntimeConfig::tiny(2), Arc::new(TokenThrottle::default()));
         let submitter = server.submitter();
         assert!(submitter.submit(req(1, vec![1, 2, 3], 2)).is_ok(), "live driver accepts");
         let mut open = 1;
@@ -587,7 +678,7 @@ mod tests {
     fn generate_all_reports_disconnect_instead_of_hanging() {
         // Regression: if the driver dies while the frontend handle is still
         // alive, generate_all must return a disconnected StallError.
-        let mut server = Server::start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
+        let mut server = start(RuntimeConfig::tiny(1), Arc::new(TokenThrottle::default()));
         server.req_tx.send(DriverMsg::Shutdown).expect("driver alive");
         if let Some(h) = server.driver.take() {
             let _ = h.join();
@@ -601,7 +692,7 @@ mod tests {
     #[test]
     fn runtime_records_a_pipeline_trace_when_asked() {
         let cfg = RuntimeConfig { record_trace: true, ..RuntimeConfig::tiny(2) };
-        let server = Server::start(cfg, Arc::new(TokenThrottle::default()));
+        let server = start(cfg, Arc::new(TokenThrottle::default()));
         server
             .generate_all(vec![req(1, vec![5, 9, 33], 6)])
             .expect("runtime stalled");

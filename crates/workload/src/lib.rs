@@ -24,5 +24,5 @@ pub use arrivals::ArrivalProcess;
 pub use azure_csv::parse_azure_csv;
 pub use request::Request;
 pub use sampler::{Dataset, LengthDistribution};
-pub use stats::{histogram, mean, percentile};
+pub use stats::{histogram, mean, percentile, HistogramConfigError};
 pub use trace::{Trace, TraceSummary};

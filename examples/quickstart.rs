@@ -18,7 +18,8 @@ use gllm::transformer::sampler::SamplingParams;
 fn main() {
     // A 4-stage pipeline over the tiny built-in model: one driver thread
     // (stage 0 + scheduler + KV manager) and three stage workers.
-    let server = Server::start(RuntimeConfig::tiny(4), Arc::new(TokenThrottle::default()));
+    let server = Server::start(RuntimeConfig::tiny(4), Arc::new(TokenThrottle::default()))
+        .expect("valid config");
     println!("gLLM runtime up: 4 pipeline stages, Token Throttling scheduler\n");
 
     // Three requests: greedy, top-k sampled, and a longer prompt.
@@ -59,6 +60,10 @@ fn main() {
             }
             Some(StreamEvent::Rejected { seq }) => {
                 println!("request {seq} rejected (would not fit in KV)");
+                open -= 1;
+            }
+            Some(StreamEvent::Failed { seq }) => {
+                println!("request {seq} failed (runtime recovery gave up)");
                 open -= 1;
             }
             None => panic!("runtime stalled"),

@@ -48,7 +48,7 @@ fn reference(reqs: &[GenRequest]) -> Vec<Vec<u32>> {
 
 fn serve(reqs: &[GenRequest], stages: usize, policy: Arc<dyn SchedulePolicy>) -> Vec<Vec<u32>> {
     let cfg = RuntimeConfig { kv_blocks: 1024, ..RuntimeConfig::tiny(stages) };
-    let server = Server::start(cfg, policy);
+    let server = Server::start(cfg, policy).expect("valid config");
     let map = server.generate_all(reqs.to_vec()).expect("runtime stalled");
     server.shutdown();
     (0..reqs.len()).map(|i| map[&(i as u64)].clone()).collect()
@@ -105,7 +105,7 @@ fn preemption_under_tight_kv_does_not_corrupt_outputs() {
     let expected = reference(&reqs);
     // ~45 tokens of KV for ~6 concurrent sequences: constant preemption.
     let cfg = RuntimeConfig { kv_blocks: 32, ..RuntimeConfig::tiny(2) };
-    let server = Server::start(cfg, Arc::new(SarathiServe::default()));
+    let server = Server::start(cfg, Arc::new(SarathiServe::default())).expect("valid config");
     let map = server.generate_all(reqs.to_vec()).expect("runtime stalled");
     let rec = server.shutdown();
     for (i, e) in expected.iter().enumerate() {
